@@ -1,0 +1,71 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* implied-disjunct pruning (Example 4.5's remark): output size and
+  cost with/without;
+* restricted vs oblivious chase: result size and cost;
+* universal solution vs its core: the price of canonical normal forms;
+* exact composition membership vs the number of chase nulls (the
+  exponential knob of the §3.6 decision procedure).
+"""
+
+import pytest
+
+from repro.catalog import example_4_5, thm_4_8, thm_4_8_inverse
+from repro.chase.standard import chase
+from repro.core.composition import composition_membership
+from repro.core.mapping import core_universal_solution, universal_solution
+from repro.core.quasi_inverse import quasi_inverse
+from repro.datamodel.instances import Instance
+from repro.workloads import random_ground_instance
+
+
+@pytest.mark.parametrize("prune", [True, False], ids=["pruned", "unpruned"])
+def test_ablation_disjunct_pruning(benchmark, prune):
+    mapping = example_4_5()
+    reverse = benchmark(quasi_inverse, mapping, prune_implied=prune)
+    disjuncts = sum(len(d.disjuncts) for d in reverse.dependencies)
+    if prune:
+        assert disjuncts <= 12
+    else:
+        assert disjuncts > 12
+
+
+@pytest.mark.parametrize("oblivious", [False, True], ids=["restricted", "oblivious"])
+def test_ablation_chase_flavor(benchmark, oblivious):
+    mapping = example_4_5()
+    source = random_ground_instance(
+        mapping.source, seed=5, n_facts=32, domain_size=8
+    )
+    result = benchmark(
+        chase, source, mapping.dependencies, oblivious=oblivious
+    )
+    assert result.produced
+
+
+@pytest.mark.parametrize("use_core", [False, True], ids=["chase", "core"])
+def test_ablation_core_solution(benchmark, use_core):
+    mapping = example_4_5()
+    source = random_ground_instance(
+        mapping.source, seed=6, n_facts=16, domain_size=4
+    )
+    compute = core_universal_solution if use_core else universal_solution
+    solution = benchmark.pedantic(compute, args=(mapping, source), rounds=1, iterations=1)
+    assert solution
+
+
+@pytest.mark.parametrize("n_facts", [1, 2, 3])
+def test_ablation_membership_vs_nulls(benchmark, n_facts):
+    """Each P-fact of the Thm 4.8 mapping chases to one null; the
+    candidate-image space grows exponentially with them."""
+    mapping = thm_4_8()
+    reverse = thm_4_8_inverse()
+    source = Instance.build(
+        {"P": [(f"a{i}", f"b{i}") for i in range(n_facts)]}
+    )
+
+    def run():
+        return composition_membership(
+            mapping, reverse, source, source, max_nulls=8
+        )
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,10 @@
+"""Benchmark E1 — the Introduction's Projection/Union/Decomposition
+examples: non-invertibility witnesses, quasi-inverse computation, and
+source-augmentation robustness."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_e01_intro_examples(benchmark):
+    report = run_and_verify(benchmark, "E1")
+    assert len(report.checks) >= 7

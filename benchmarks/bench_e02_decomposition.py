@@ -1,0 +1,10 @@
+"""Benchmark E2 — Example 3.10: the Decomposition mapping's witness
+pair, the (=, ∼M)-subset property over a bounded universe, and both of
+the paper's quasi-inverses."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_e02_decomposition(benchmark):
+    report = run_and_verify(benchmark, "E2")
+    assert len(report.checks) == 7

@@ -1,0 +1,9 @@
+"""Benchmark E3 — Proposition 3.11: the subset property and faithful
+quasi-inverses over a sweep of random LAV mappings."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_e03_lav_quasi(benchmark):
+    report = run_and_verify(benchmark, "E3")
+    assert len(report.checks) >= 17

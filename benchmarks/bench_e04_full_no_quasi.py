@@ -1,0 +1,16 @@
+"""Benchmark E4 — Proposition 3.12: the complete profile-based search
+refuting the subset property for E(x,z) ∧ E(z,y) -> F(x,y) ∧ M(z)."""
+
+from benchmarks.conftest import run_and_verify
+from repro.experiments.prop312_search import search_violation
+
+
+def test_e04_full_no_quasi(benchmark):
+    report = run_and_verify(benchmark, "E4")
+    assert report.passed
+
+
+def test_e04_search_alone(benchmark):
+    """The exhaustive 512-instance profile search in isolation."""
+    witness = benchmark(search_violation, 3)
+    assert witness is not None

@@ -1,0 +1,9 @@
+"""Benchmark E6 — Theorem 4.6: quasi-inverses of full mappings use no
+Constant() conjuncts."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_e06_full_language(benchmark):
+    report = run_and_verify(benchmark, "E6")
+    assert report.passed

@@ -1,0 +1,16 @@
+"""Benchmark E7 — Theorem 4.7: disjunction-free quasi-inverses of LAV
+mappings (the omega-with-existentials construction)."""
+
+from benchmarks.conftest import run_and_verify
+from repro.catalog import decomposition
+from repro.core import lav_quasi_inverse
+
+
+def test_e07_lav_language(benchmark):
+    report = run_and_verify(benchmark, "E7")
+    assert report.passed
+
+
+def test_e07_lav_construction_alone(benchmark):
+    reverse = benchmark(lav_quasi_inverse, decomposition())
+    assert len(reverse.dependencies) == 5

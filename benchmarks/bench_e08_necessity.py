@@ -1,0 +1,10 @@
+"""Benchmark E8 — Theorems 4.8-4.11: the feature-rich (quasi-)inverses
+work and the feature-stripped candidates fail with explicit
+counterexamples."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_e08_necessity(benchmark):
+    report = run_and_verify(benchmark, "E8")
+    assert len(report.checks) == 10

@@ -1,0 +1,16 @@
+"""Benchmark E9 — Theorem 5.1 / Example 5.4: the Inverse algorithm,
+the exact bounded inverse check, and the weakest-inverse property."""
+
+from benchmarks.conftest import run_and_verify
+from repro.catalog import example_5_4
+from repro.core import inverse
+
+
+def test_e09_inverse_algorithm(benchmark):
+    report = run_and_verify(benchmark, "E9")
+    assert len(report.checks) == 7
+
+
+def test_e09_inverse_of_example_5_4(benchmark):
+    computed = benchmark(inverse, example_5_4())
+    assert len(computed.dependencies) == 2

@@ -1,0 +1,9 @@
+"""Benchmark E10 — Definition 5.2 / Proposition 5.3: the constant-
+propagation checks across the catalog."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_e10_constant_propagation(benchmark):
+    report = run_and_verify(benchmark, "E10")
+    assert report.passed

@@ -1,0 +1,37 @@
+"""Benchmark E11 — **Figure 1** / Example 6.1: the bidirectional
+exchange tables, regenerated cell by cell, plus the underlying round
+trips in isolation."""
+
+from benchmarks.conftest import run_and_verify
+from repro.catalog import (
+    decomposition,
+    decomposition_quasi_inverse_join,
+    decomposition_quasi_inverse_split,
+    figure_1_instance,
+)
+from repro.dataexchange import round_trip
+
+
+def test_e11_figure1(benchmark):
+    report = run_and_verify(benchmark, "E11")
+    assert len(report.checks) == 9
+
+
+def test_e11_round_trip_join(benchmark):
+    trip = benchmark(
+        round_trip,
+        decomposition(),
+        decomposition_quasi_inverse_join(),
+        figure_1_instance(),
+    )
+    assert len(trip.recovered[0]) == 4  # the 2x2 product V1
+
+
+def test_e11_round_trip_split(benchmark):
+    trip = benchmark(
+        round_trip,
+        decomposition(),
+        decomposition_quasi_inverse_split(),
+        figure_1_instance(),
+    )
+    assert len(trip.recovered[0].nulls()) == 4  # V2's four nulls

@@ -1,0 +1,9 @@
+"""Benchmark E12 — Theorems 6.7/6.8: soundness and faithfulness sweeps
+over catalog and random workloads."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_e12_soundness_faithfulness(benchmark):
+    report = run_and_verify(benchmark, "E12")
+    assert report.passed

@@ -1,0 +1,10 @@
+"""Benchmark E13 — Proposition 3.9 / Section 5 remark: QuasiInverse vs
+Inverse on invertible mappings (side-by-side language audit and exact
+bounded inverse checks)."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_e13_invertible_comparison(benchmark):
+    report = run_and_verify(benchmark, "E13")
+    assert len(report.checks) == 10

@@ -1,0 +1,10 @@
+"""Benchmark E14 — the Section 3 remark: a mapping with unique
+solutions (the necessary condition of [3]) that still has no inverse,
+via an exact (=,=)-subset violation."""
+
+from benchmarks.conftest import run_and_verify
+
+
+def test_e14_unique_solutions_gap(benchmark):
+    report = run_and_verify(benchmark, "E14")
+    assert len(report.checks) == 7

@@ -1,0 +1,41 @@
+"""Scaling: bounded framework checkers vs universe size — the cost of
+the subset-property and exact inverse checks grows quadratically in
+the universe (and the composition-membership cost exponentially in
+chase nulls), which bounds how far the falsifiers can be pushed."""
+
+import pytest
+
+from repro.catalog import decomposition, example_5_4
+from repro.core import (
+    SolutionEquivalence,
+    inverse,
+    is_inverse,
+    subset_property,
+)
+from repro.workloads import instance_universe
+
+
+@pytest.mark.parametrize("max_facts", [1, 2])
+def test_subset_property_vs_universe(benchmark, max_facts):
+    mapping = decomposition()
+    universe = instance_universe(mapping.source, [0, 1], max_facts=max_facts)
+    relation = SolutionEquivalence(mapping)
+
+    def run():
+        return subset_property(mapping, relation, relation, universe)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.holds
+
+
+@pytest.mark.parametrize("max_facts", [1, 2])
+def test_is_inverse_vs_universe(benchmark, max_facts):
+    mapping = example_5_4()
+    computed = inverse(mapping)
+    universe = instance_universe(mapping.source, ["a", "b"], max_facts=max_facts)
+
+    def run():
+        return is_inverse(mapping, computed, universe)
+
+    verdict = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verdict.holds

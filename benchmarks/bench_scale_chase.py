@@ -1,0 +1,31 @@
+"""Scaling: standard chase throughput vs source instance size.
+
+The chase of a LAV/decomposition-style mapping is near-linear in the
+number of source facts; the sweep makes the growth curve visible in
+the benchmark report (compare the n=… groups)."""
+
+import pytest
+
+from repro.catalog import decomposition, example_4_5
+from repro.chase.standard import chase
+from repro.workloads import random_ground_instance
+
+
+@pytest.mark.parametrize("n_facts", [8, 32, 128])
+def test_chase_decomposition(benchmark, n_facts):
+    mapping = decomposition()
+    source = random_ground_instance(
+        mapping.source, seed=1, n_facts=n_facts, domain_size=max(4, n_facts // 2)
+    )
+    result = benchmark(chase, source, mapping.dependencies)
+    assert len(result.produced) >= 1
+
+
+@pytest.mark.parametrize("n_facts", [8, 32, 128])
+def test_chase_example_4_5(benchmark, n_facts):
+    mapping = example_4_5()
+    source = random_ground_instance(
+        mapping.source, seed=1, n_facts=n_facts, domain_size=max(4, n_facts // 2)
+    )
+    result = benchmark(chase, source, mapping.dependencies)
+    assert len(result.instance) >= n_facts

@@ -1,0 +1,17 @@
+"""Scaling: disjunctive chase tree size vs the number of branching
+facts — the tree doubles per independently-branching premise match
+(Definition 6.4)."""
+
+import pytest
+
+from repro.chase.disjunctive import disjunctive_chase
+from repro.datamodel.instances import Instance
+from repro.dependencies.parser import parse_dependency
+
+
+@pytest.mark.parametrize("n_facts", [2, 4, 8])
+def test_disjunctive_chase_tree_growth(benchmark, n_facts):
+    deps = (parse_dependency("S(x) -> P(x) | Q(x)"),)
+    source = Instance.build({"S": [(f"c{i}",) for i in range(n_facts)]})
+    tree = benchmark(disjunctive_chase, source, deps)
+    assert len(tree.leaves()) == 2 ** n_facts

@@ -1,0 +1,37 @@
+"""Scaling: homomorphism search and homomorphic-equivalence tests vs
+instance size — the primitive underlying every ∼M decision."""
+
+import pytest
+
+from repro.catalog import decomposition
+from repro.chase.homomorphism import (
+    instance_homomorphism,
+    is_homomorphically_equivalent,
+)
+from repro.core.mapping import universal_solution
+from repro.workloads import random_ground_instance
+
+
+@pytest.mark.parametrize("n_facts", [8, 32, 128])
+def test_instance_homomorphism(benchmark, n_facts):
+    mapping = decomposition()
+    source = random_ground_instance(
+        mapping.source, seed=2, n_facts=n_facts, domain_size=max(4, n_facts // 2)
+    )
+    chased = universal_solution(mapping, source)
+    found = benchmark(instance_homomorphism, chased, chased)
+    assert found is not None
+
+
+@pytest.mark.parametrize("n_facts", [8, 32])
+def test_homomorphic_equivalence_of_chases(benchmark, n_facts):
+    mapping = decomposition()
+    left = random_ground_instance(
+        mapping.source, seed=3, n_facts=n_facts, domain_size=4
+    )
+    right = left.union(
+        random_ground_instance(mapping.source, seed=4, n_facts=2, domain_size=4)
+    )
+    left_chase = universal_solution(mapping, left)
+    right_chase = universal_solution(mapping, right)
+    benchmark(is_homomorphically_equivalent, left_chase, right_chase)

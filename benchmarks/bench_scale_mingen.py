@@ -1,0 +1,25 @@
+"""Scaling: MinGen search cost vs the number of tgds (Theorem 4.1's
+exponential-time bound).
+
+The proof-based search grows with the number of proof shapes (tgd
+choices per goal atom × firing partitions), which the sweep over
+random LAV mappings with increasing tgd counts exposes."""
+
+import pytest
+
+from repro.core import minimal_generators
+from repro.workloads import random_lav_mapping
+
+
+@pytest.mark.parametrize("n_tgds", [2, 4, 8])
+def test_mingen_vs_tgd_count(benchmark, n_tgds):
+    mapping = random_lav_mapping(
+        42, n_source=2, n_target=2, max_arity=2, n_tgds=n_tgds
+    )
+    sigma = mapping.dependencies[0]
+
+    def run():
+        return minimal_generators(mapping, sigma.disjuncts[0], sigma.frontier())
+
+    generators = benchmark(run)
+    assert generators

@@ -1,0 +1,29 @@
+"""Scaling: whole-algorithm QuasiInverse cost vs mapping size.
+
+Sigma* grows with the Bell number of each tgd's frontier and MinGen
+runs once per member, so the overall algorithm is exponential in the
+mapping size (the open question in the paper's Section 7 is whether
+that is unavoidable)."""
+
+import pytest
+
+from repro.core import quasi_inverse
+from repro.workloads import random_lav_mapping
+
+
+@pytest.mark.parametrize("n_tgds", [2, 4, 6])
+def test_quasi_inverse_vs_tgd_count(benchmark, n_tgds):
+    mapping = random_lav_mapping(
+        7, n_source=2, n_target=2, max_arity=2, n_tgds=n_tgds
+    )
+    reverse = benchmark(quasi_inverse, mapping)
+    assert reverse.dependencies
+
+
+@pytest.mark.parametrize("max_arity", [2, 3])
+def test_quasi_inverse_vs_arity(benchmark, max_arity):
+    mapping = random_lav_mapping(
+        11, n_source=2, n_target=2, max_arity=max_arity, n_tgds=3
+    )
+    reverse = benchmark(quasi_inverse, mapping)
+    assert reverse.dependencies

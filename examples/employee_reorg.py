@@ -1,0 +1,89 @@
+"""Scenario: recovering an HR database after a warehouse migration.
+
+An HR system exports its single wide table
+
+    Emp(name, dept, site)
+
+into a normalized warehouse schema
+
+    Works(name, dept),  Located(dept, site),  Person(name)
+
+via the schema mapping
+
+    Emp(n, d, s) -> Works(n, d) ∧ Located(d, s)
+    Emp(n, d, s) -> Person(n)
+
+Later the HR side is lost and must be rebuilt from the warehouse.
+The mapping is not invertible (it is a decomposition + projection),
+but it is LAV, so by Proposition 3.11 a quasi-inverse exists.  The
+script computes one, rebuilds an HR instance, and shows that every
+certain answer an analyst could ask of the original is preserved.
+
+Run:  python examples/employee_reorg.py
+"""
+
+from repro import Schema, SchemaMapping, quasi_inverse
+from repro.datamodel import Instance
+from repro.dataexchange import analyze_round_trip, certain_answers, parse_query
+
+hr = Schema.of({"Emp": 3})
+warehouse = Schema.of({"Works": 2, "Located": 2, "Person": 1})
+migration = SchemaMapping.from_text(
+    hr,
+    warehouse,
+    """
+    Emp(n, d, s) -> Works(n, d) & Located(d, s)
+    Emp(n, d, s) -> Person(n)
+    """,
+    name="HR-to-Warehouse",
+)
+
+hr_data = Instance.build(
+    {
+        "Emp": [
+            ("alice", "db", "sj"),
+            ("bob", "db", "sj"),
+            ("carol", "ml", "ny"),
+            ("dave", "ml", "zrh"),
+        ]
+    }
+)
+
+print("Original HR instance:")
+print(hr_data.pretty(indent="  "))
+print()
+
+reverse = quasi_inverse(migration)
+print(f"Quasi-inverse ({len(reverse.dependencies)} dependencies), e.g.:")
+for dependency in reverse.dependencies[:3]:
+    print(f"  {dependency}")
+print()
+
+report = analyze_round_trip(migration, reverse, hr_data)
+print(f"round trip sound:    {report.sound}")
+print(f"round trip faithful: {report.faithful}")
+recovered = report.recovered_instance
+print()
+print("Recovered HR instance (data-exchange equivalent to the original):")
+print(recovered.pretty(indent="  "))
+print()
+
+# Certain answers agree before and after recovery: any conjunctive
+# query an analyst runs through the migration sees the same facts.
+queries = [
+    parse_query("colleagues(a, b) :- Works(a, d), Works(b, d)"),
+    parse_query("site_of(n, s) :- Works(n, d), Located(d, s)"),
+    parse_query("people(n) :- Person(n)"),
+]
+recovered_source = recovered.restrict_to(hr)
+for query in queries:
+    before = certain_answers(query, migration, hr_data)
+    after = certain_answers(query, migration, recovered_source)
+    status = "preserved" if before == after else "CHANGED"
+    rendered = sorted(tuple(str(v) for v in row) for row in before)
+    print(f"{query}:")
+    print(f"  {len(before)} certain answers, {status}")
+    for row in rendered[:4]:
+        print(f"    {row}")
+    if len(rendered) > 4:
+        print(f"    … {len(rendered) - 4} more")

@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network, so
+PEP 660 editable installs fail; `pip install -e . --no-use-pep517`
+uses this file instead.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Quasi-inverses of Schema Mappings' (PODS 2007)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,77 @@
+"""repro — a full reproduction of "Quasi-inverses of Schema Mappings"
+(Fagin, Kolaitis, Popa, Tan — PODS 2007).
+
+The library implements, from scratch:
+
+* the relational data model (constants / labeled nulls / variables,
+  instances, schemas) — :mod:`repro.datamodel`;
+* the dependency language of Definition 2.1 (s-t tgds through
+  disjunctive tgds with constants and inequalities), with a text
+  parser — :mod:`repro.dependencies`;
+* the chase: homomorphisms, the restricted standard chase, and the
+  disjunctive chase of Definitions 6.3/6.4 — :mod:`repro.chase`;
+* the paper's contribution: solution-space reasoning, minimal
+  generators, the QuasiInverse and Inverse algorithms, the unifying
+  (∼1,∼2)-inverse framework, and composition — :mod:`repro.core`;
+* data exchange with quasi-inverses: round trips, soundness,
+  faithfulness, recovery, and certain answers —
+  :mod:`repro.dataexchange`;
+* analysis, the catalog of every mapping named in the paper, seeded
+  synthetic workloads, and the experiment suite E1–E14 —
+  :mod:`repro.analysis`, :mod:`repro.catalog`, :mod:`repro.workloads`,
+  :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import SchemaMapping, Schema, quasi_inverse
+    from repro.dataexchange import recover
+    from repro.datamodel import Instance
+
+    decomposition = SchemaMapping.from_text(
+        Schema.of({"P": 3}), Schema.of({"Q": 2, "R": 2}),
+        "P(x, y, z) -> Q(x, y) & R(y, z)",
+    )
+    reverse = quasi_inverse(decomposition)
+    source = Instance.build({"P": [("a", "b", "c")]})
+    recovered = recover(decomposition, reverse, source)
+"""
+
+from repro.datamodel import Atom, Constant, Instance, Null, Schema, Variable, atom
+from repro.dependencies import (
+    Dependency,
+    Premise,
+    parse_dependencies,
+    parse_dependency,
+    tgd,
+)
+from repro.core import (
+    SchemaMapping,
+    identity_mapping,
+    inverse,
+    lav_quasi_inverse,
+    quasi_inverse,
+    universal_solution,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Dependency",
+    "Instance",
+    "Null",
+    "Premise",
+    "Schema",
+    "SchemaMapping",
+    "Variable",
+    "atom",
+    "identity_mapping",
+    "inverse",
+    "lav_quasi_inverse",
+    "parse_dependencies",
+    "parse_dependency",
+    "quasi_inverse",
+    "tgd",
+    "universal_solution",
+]

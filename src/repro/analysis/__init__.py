@@ -1,0 +1,25 @@
+"""Mapping analysis: classification, language audits, and
+invertibility reports."""
+
+from repro.analysis.classify import classify_mapping, MappingClassification
+from repro.analysis.invertibility import (
+    InvertibilityReport,
+    invertibility_report,
+)
+from repro.analysis.provenance import (
+    FactProvenance,
+    derivation_depths,
+    explain_chase,
+    fact_provenance,
+)
+
+__all__ = [
+    "FactProvenance",
+    "InvertibilityReport",
+    "MappingClassification",
+    "classify_mapping",
+    "derivation_depths",
+    "explain_chase",
+    "fact_provenance",
+    "invertibility_report",
+]

@@ -1,0 +1,56 @@
+"""Syntactic classification of schema mappings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dependencies.dependency import LanguageFeatures, language_audit
+from repro.core.mapping import SchemaMapping
+
+
+@dataclass(frozen=True)
+class MappingClassification:
+    """A syntactic profile of a dependency set."""
+
+    is_tgd: bool
+    is_full: bool
+    is_lav: bool
+    is_gav: bool
+    features: LanguageFeatures
+    n_dependencies: int
+
+    def describe(self) -> str:
+        tags = []
+        if self.is_lav:
+            tags.append("LAV")
+        if self.is_gav:
+            tags.append("GAV")
+        if self.is_full:
+            tags.append("full")
+        if self.is_tgd and not tags:
+            tags.append("s-t tgds")
+        if not self.is_tgd:
+            tags.append(self.features.describe())
+        return ", ".join(tags) if tags else "plain"
+
+
+def classify_mapping(mapping: SchemaMapping) -> MappingClassification:
+    """Classify *mapping* syntactically.
+
+    GAV (global-as-view) means every conclusion is a single atom with
+    no existential quantifiers; LAV means every premise is a single
+    atom.  Both imply plain tgds.
+    """
+    is_tgd = mapping.is_tgd_mapping()
+    is_gav = is_tgd and all(
+        len(dep.disjuncts[0]) == 1 and dep.is_full()
+        for dep in mapping.dependencies
+    )
+    return MappingClassification(
+        is_tgd=is_tgd,
+        is_full=mapping.is_full(),
+        is_lav=mapping.is_lav(),
+        is_gav=is_gav,
+        features=language_audit(mapping.dependencies),
+        n_dependencies=len(mapping.dependencies),
+    )

@@ -1,0 +1,86 @@
+"""Invertibility analysis combining the paper's criteria.
+
+For a mapping specified by s-t tgds, the report aggregates:
+
+* the constant-propagation property (Definition 5.2) — necessary for
+  invertibility (Proposition 5.3), decidable exactly;
+* the unique-solutions property over a bounded universe — necessary
+  for invertibility ([3]); a violation certifies non-invertibility;
+* the (∼M,∼M)-subset property over a bounded universe — necessary
+  and sufficient for quasi-invertibility (Theorem 3.5); a violation
+  certifies that no quasi-inverse exists;
+* guaranteed positives: LAV mappings are always quasi-invertible
+  (Proposition 3.11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.datamodel.instances import Instance
+from repro.core.framework import (
+    SolutionEquivalence,
+    SubsetPropertyReport,
+    subset_property,
+    unique_solutions_property,
+)
+from repro.core.inverse import has_constant_propagation
+from repro.core.mapping import SchemaMapping
+
+
+@dataclass(frozen=True)
+class InvertibilityReport:
+    """Aggregated invertibility evidence for one mapping."""
+
+    mapping_name: str
+    is_lav: bool
+    is_full: bool
+    constant_propagation: bool
+    unique_solutions: bool
+    unique_solutions_witness: Optional[Tuple[Instance, Instance]]
+    quasi_subset_property: SubsetPropertyReport
+
+    @property
+    def certainly_not_invertible(self) -> bool:
+        """A necessary condition for invertibility failed."""
+        return not self.constant_propagation or not self.unique_solutions
+
+    @property
+    def certainly_not_quasi_invertible(self) -> bool:
+        """The (∼M,∼M)-subset property failed on a bounded universe."""
+        return not self.quasi_subset_property.holds
+
+    @property
+    def certainly_quasi_invertible(self) -> bool:
+        """A sufficient condition for quasi-invertibility holds."""
+        return self.is_lav
+
+    def verdict(self) -> str:
+        if self.certainly_not_quasi_invertible:
+            return "no quasi-inverse (subset-property violation)"
+        if self.certainly_not_invertible and self.certainly_quasi_invertible:
+            return "quasi-invertible (LAV) but not invertible"
+        if self.certainly_not_invertible:
+            return "not invertible; quasi-invertibility open (bounded pass)"
+        if self.certainly_quasi_invertible:
+            return "quasi-invertible (LAV); invertibility open (bounded pass)"
+        return "all bounded checks pass"
+
+
+def invertibility_report(
+    mapping: SchemaMapping, universe: Sequence[Instance]
+) -> InvertibilityReport:
+    """Run every invertibility criterion over *universe*."""
+    equivalence = SolutionEquivalence(mapping)
+    unique, violations = unique_solutions_property(mapping, universe)
+    subset = subset_property(mapping, equivalence, equivalence, universe)
+    return InvertibilityReport(
+        mapping_name=mapping.name or str(mapping),
+        is_lav=mapping.is_lav(),
+        is_full=mapping.is_full(),
+        constant_propagation=has_constant_propagation(mapping),
+        unique_solutions=unique,
+        unique_solutions_witness=violations[0] if violations else None,
+        quasi_subset_property=subset,
+    )

@@ -1,0 +1,31 @@
+"""The chase engine: homomorphisms, the standard (restricted) chase,
+and the disjunctive chase of Definitions 6.3/6.4."""
+
+from repro.chase.homomorphism import (
+    all_homomorphisms,
+    core,
+    find_homomorphism,
+    instance_homomorphism,
+    is_homomorphically_equivalent,
+)
+from repro.chase.standard import ChaseError, ChaseResult, NullFactory, chase
+from repro.chase.disjunctive import (
+    DisjunctiveChaseNode,
+    DisjunctiveChaseTree,
+    disjunctive_chase,
+)
+
+__all__ = [
+    "ChaseError",
+    "ChaseResult",
+    "DisjunctiveChaseNode",
+    "DisjunctiveChaseTree",
+    "NullFactory",
+    "all_homomorphisms",
+    "chase",
+    "core",
+    "disjunctive_chase",
+    "find_homomorphism",
+    "instance_homomorphism",
+    "is_homomorphically_equivalent",
+]

@@ -1,0 +1,157 @@
+"""The disjunctive chase (Definitions 6.3 and 6.4).
+
+Chasing an instance with disjunctive tgds produces a *tree*: a node
+where a dependency sigma applies with homomorphism h has one child
+per disjunct, obtained by instantiating that disjunct with fresh
+nulls.  Leaves are instances where nothing applies.  Because we only
+ever chase target-to-source dependencies over (U, ∅) — premises match
+target facts, conclusions add source facts — the tree is finite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.chase.homomorphism import Assignment, all_homomorphisms, find_homomorphism
+from repro.chase.standard import ChaseError, NullFactory
+from repro.datamodel.atoms import Atom
+from repro.datamodel.instances import Instance
+from repro.datamodel.terms import Term
+from repro.dependencies.dependency import Dependency
+
+
+@dataclass
+class DisjunctiveChaseNode:
+    """A node of the disjunctive chase tree."""
+
+    instance: Instance
+    children: List["DisjunctiveChaseNode"] = field(default_factory=list)
+    applied: Optional[Dependency] = None
+    match: Optional[Tuple[Tuple[Term, Term], ...]] = None
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+@dataclass
+class DisjunctiveChaseTree:
+    """The full chase tree, with convenient access to its leaves."""
+
+    root: DisjunctiveChaseNode
+    node_count: int
+
+    def leaves(self) -> Tuple[Instance, ...]:
+        """All leaf instances, in left-to-right tree order."""
+        collected: List[Instance] = []
+
+        def walk(node: DisjunctiveChaseNode) -> None:
+            if node.is_leaf():
+                collected.append(node.instance)
+                return
+            for child in node.children:
+                walk(child)
+
+        walk(self.root)
+        return tuple(collected)
+
+    def distinct_leaves(self) -> Tuple[Instance, ...]:
+        """Leaves with exact duplicates removed (first occurrence kept)."""
+        seen: Set[Instance] = set()
+        result: List[Instance] = []
+        for leaf in self.leaves():
+            if leaf not in seen:
+                seen.add(leaf)
+                result.append(leaf)
+        return tuple(result)
+
+    def depth(self) -> int:
+        def walk(node: DisjunctiveChaseNode) -> int:
+            if node.is_leaf():
+                return 0
+            return 1 + max(walk(child) for child in node.children)
+
+        return walk(self.root)
+
+
+def _find_applicable(
+    dependencies: Sequence[Dependency], instance: Instance
+) -> Optional[Tuple[Dependency, Assignment]]:
+    """The first applicable (sigma, h) in deterministic order.
+
+    Per Definition 6.3, sigma applies with h when h matches the
+    premise (with constraints) and *no* disjunct admits an extension
+    of h into the instance.
+    """
+    for dependency in dependencies:
+        variables = dependency.premise_variables()
+        matches = list(
+            all_homomorphisms(
+                dependency.premise.atoms,
+                instance,
+                constant_vars=dependency.premise.constant_vars,
+                inequalities=dependency.premise.inequalities,
+            )
+        )
+        matches.sort(key=lambda h: tuple(h[v].sort_key() for v in variables))
+        for match in matches:
+            satisfied = any(
+                find_homomorphism(disjunct, instance, fixed=match) is not None
+                for disjunct in dependency.disjuncts
+            )
+            if not satisfied:
+                return dependency, match
+    return None
+
+
+def disjunctive_chase(
+    instance: Instance,
+    dependencies: Sequence[Dependency],
+    *,
+    null_factory: Optional[NullFactory] = None,
+    max_nodes: int = 100_000,
+) -> DisjunctiveChaseTree:
+    """Build the disjunctive chase tree of *instance* with *dependencies*.
+
+    Dependencies may freely mix disjunctive and plain tgds, including
+    ``Constant(x)`` conjuncts and inequalities.  Raises
+    :class:`ChaseError` when the tree exceeds *max_nodes* nodes (a
+    guard against recursive dependency sets).
+    """
+    dependencies = tuple(dependencies)
+    if null_factory is None:
+        null_factory = NullFactory(
+            prefix="M", taken=(null.name for null in instance.nulls())
+        )
+
+    root = DisjunctiveChaseNode(instance)
+    node_count = 1
+    stack: List[DisjunctiveChaseNode] = [root]
+    while stack:
+        node = stack.pop()
+        applicable = _find_applicable(dependencies, node.instance)
+        if applicable is None:
+            continue
+        dependency, match = applicable
+        node.applied = dependency
+        node.match = tuple(
+            sorted(match.items(), key=lambda kv: kv[0].sort_key())
+        )
+        for index in range(len(dependency.disjuncts)):
+            assignment: Dict[Term, Term] = dict(match)
+            for variable in dependency.existential_variables(index):
+                assignment[variable] = null_factory.fresh(hint=variable.name)
+            added = tuple(
+                atom.substitute(assignment)
+                for atom in dependency.disjuncts[index]
+            )
+            child = DisjunctiveChaseNode(node.instance.union(added))
+            node.children.append(child)
+            node_count += 1
+            if node_count > max_nodes:
+                raise ChaseError(
+                    f"disjunctive chase exceeded {max_nodes} nodes"
+                )
+        # Visit children left-to-right (stack is LIFO, so push reversed).
+        stack.extend(reversed(node.children))
+    return DisjunctiveChaseTree(root, node_count)

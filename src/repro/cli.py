@@ -1,0 +1,174 @@
+"""Command-line interface: run the paper-reproduction experiments.
+
+Usage::
+
+    python -m repro.cli list                  # list experiments
+    python -m repro.cli run E11               # one experiment (Figure 1)
+    python -m repro.cli run E4 E5 --json      # machine-readable reports
+    python -m repro.cli all                   # the whole suite
+    python -m repro.cli export Decomposition --format sql
+    python -m repro.cli export Example4.5 --format json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import all_experiment_ids, run_all, run_experiment
+from repro.experiments.base import ExperimentReport
+
+
+def _report_to_json(report: ExperimentReport, elapsed: Optional[float] = None) -> dict:
+    payload = {
+        "id": report.experiment_id,
+        "title": report.title,
+        "paper_artifact": report.paper_artifact,
+        "passed": report.passed,
+        "checks": [
+            {"name": check.name, "passed": check.passed, "detail": check.detail}
+            for check in report.checks
+        ],
+        "lines": list(report.lines),
+    }
+    if elapsed is not None:
+        payload["seconds"] = round(elapsed, 3)
+    return payload
+
+
+def _command_list() -> int:
+    from repro.experiments.registry import _REGISTRY  # noqa: internal listing
+
+    for experiment_id, runner in _REGISTRY.items():
+        doc = sys.modules[runner.__module__].__doc__ or ""
+        first_line = doc.strip().splitlines()[0] if doc.strip() else ""
+        print(f"{experiment_id:>4}  {first_line}")
+    return 0
+
+
+def _command_run(experiment_ids: List[str], as_json: bool) -> int:
+    failures = 0
+    payloads = []
+    for experiment_id in experiment_ids:
+        started = time.perf_counter()
+        report = run_experiment(experiment_id)
+        elapsed = time.perf_counter() - started
+        if as_json:
+            payloads.append(_report_to_json(report, elapsed))
+        else:
+            print(report.render())
+            print(f"  ({elapsed:.2f}s)")
+            print()
+        if not report.passed:
+            failures += 1
+    if as_json:
+        print(json.dumps(payloads, indent=2, ensure_ascii=False))
+    return 1 if failures else 0
+
+
+def _command_all(as_json: bool) -> int:
+    started = time.perf_counter()
+    reports = run_all()
+    elapsed = time.perf_counter() - started
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "experiments": [_report_to_json(r) for r in reports],
+                    "passed": sum(r.passed for r in reports),
+                    "total": len(reports),
+                    "seconds": round(elapsed, 1),
+                },
+                indent=2,
+                ensure_ascii=False,
+            )
+        )
+    else:
+        for report in reports:
+            print(report.render())
+            print()
+        passed = sum(report.passed for report in reports)
+        checks = sum(len(report.checks) for report in reports)
+        checks_passed = sum(
+            sum(check.passed for check in report.checks) for report in reports
+        )
+        print(
+            f"== SUITE: {passed}/{len(reports)} experiments passed, "
+            f"{checks_passed}/{checks} checks, {elapsed:.1f}s =="
+        )
+    return 0 if all(report.passed for report in reports) else 1
+
+
+def _command_export(mapping_name: str, output_format: str) -> int:
+    from repro.catalog import all_catalog_mappings
+
+    by_name = {mapping.name: mapping for mapping in all_catalog_mappings()}
+    if mapping_name not in by_name:
+        print(
+            f"unknown mapping {mapping_name!r}; known: {', '.join(sorted(by_name))}",
+            file=sys.stderr,
+        )
+        return 2
+    mapping = by_name[mapping_name]
+    if output_format == "json":
+        from repro.export import mapping_to_json
+
+        print(json.dumps(mapping_to_json(mapping), indent=2, ensure_ascii=False))
+        return 0
+    from repro.export import SqlExportError, mapping_to_sql
+
+    try:
+        print(mapping_to_sql(mapping))
+    except SqlExportError as error:
+        print(f"no SQL rendering: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Quasi-inverses of Schema Mappings' (PODS 2007)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list the experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="ID",
+        help=f"experiment ids ({', '.join(all_experiment_ids())})",
+    )
+    run_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable reports"
+    )
+
+    all_parser = subparsers.add_parser("all", help="run the whole suite")
+    all_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable reports"
+    )
+
+    export_parser = subparsers.add_parser(
+        "export", help="export a catalog mapping as SQL or JSON"
+    )
+    export_parser.add_argument("mapping", help="catalog mapping name, e.g. Decomposition")
+    export_parser.add_argument(
+        "--format", choices=("sql", "json"), default="sql", dest="output_format"
+    )
+
+    arguments = parser.parse_args(argv)
+    if arguments.command == "list":
+        return _command_list()
+    if arguments.command == "run":
+        return _command_run(arguments.experiments, arguments.json)
+    if arguments.command == "export":
+        return _command_export(arguments.mapping, arguments.output_format)
+    return _command_all(arguments.json)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

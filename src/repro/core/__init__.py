@@ -1,0 +1,94 @@
+"""The paper's primary contribution: schema mappings, solution-space
+reasoning, minimal generators, and the QuasiInverse / Inverse
+algorithms, together with the unifying (∼1,∼2)-inverse framework of
+Section 3."""
+
+from repro.core.mapping import (
+    MappingError,
+    SchemaMapping,
+    data_exchange_equivalent,
+    identity_mapping,
+    is_solution,
+    solutions_contained,
+    universal_solution,
+)
+from repro.core.generators import Generator, MinGenConfig, minimal_generators
+from repro.core.quasi_inverse import lav_quasi_inverse, quasi_inverse
+from repro.core.inverse import (
+    InverseError,
+    constant_propagation_report,
+    has_constant_propagation,
+    inverse,
+    prime_atoms,
+)
+from repro.core.framework import (
+    Equality,
+    EquivalenceRelation,
+    InverseCheckReport,
+    SolutionEquivalence,
+    SubsetPropertyReport,
+    is_generalized_inverse,
+    is_inverse,
+    is_quasi_inverse,
+    subset_property,
+    unique_solutions_property,
+)
+from repro.core.composition import compose_full, composition_membership
+from repro.core.generators import lemma_4_4_bound
+from repro.core.implication import (
+    logically_equivalent,
+    logically_implies,
+    minimize_dependency_set,
+)
+from repro.core.inverse import omega
+from repro.core.skolem import (
+    SkolemMapping,
+    SkolemRule,
+    SkolemTerm,
+    compose_skolem,
+    skolem_exchange,
+    skolemize,
+)
+
+__all__ = [
+    "Equality",
+    "EquivalenceRelation",
+    "Generator",
+    "InverseCheckReport",
+    "InverseError",
+    "MappingError",
+    "MinGenConfig",
+    "SchemaMapping",
+    "SkolemMapping",
+    "SkolemRule",
+    "SkolemTerm",
+    "SolutionEquivalence",
+    "SubsetPropertyReport",
+    "compose_full",
+    "compose_skolem",
+    "composition_membership",
+    "constant_propagation_report",
+    "data_exchange_equivalent",
+    "has_constant_propagation",
+    "identity_mapping",
+    "inverse",
+    "is_generalized_inverse",
+    "is_inverse",
+    "is_quasi_inverse",
+    "is_solution",
+    "lav_quasi_inverse",
+    "lemma_4_4_bound",
+    "logically_equivalent",
+    "logically_implies",
+    "minimal_generators",
+    "minimize_dependency_set",
+    "omega",
+    "prime_atoms",
+    "quasi_inverse",
+    "skolem_exchange",
+    "skolemize",
+    "solutions_contained",
+    "subset_property",
+    "unique_solutions_property",
+    "universal_solution",
+]

@@ -1,0 +1,158 @@
+"""Composition of schema mappings (Section 2) and an exact
+composition-membership decision procedure.
+
+``composition_membership(M, M', I1, I2)`` decides whether
+(I1, I2) ∈ Inst(M ∘ M'), i.e. whether some intermediate target
+instance J satisfies (I1, J) ⊨ Sigma and (J, I2) ⊨ Sigma'.  Although
+J ranges over an infinite set, a finite candidate set suffices:
+
+* (I1, J) ⊨ Sigma exactly when J contains a homomorphic image of
+  chase(I1); and premise satisfaction of Sigma' is monotone in J
+  (every premise match in a subinstance is a match in the
+  superinstance, and a dependency's conclusion constrains I2 only).
+  Hence if any J works, the homomorphic image h(chase(I1)) ⊆ J works
+  as well.
+* It therefore suffices to try every image of chase(I1) under maps
+  sending each null to: itself, another null of the chase, an
+  active-domain constant of I1 or I2, or one of k fresh constants
+  (k = number of nulls) — fresh constants beyond the equality pattern
+  they realize are interchangeable because dependencies contain no
+  constant symbols.
+
+This makes the membership test a decision procedure (no approximation),
+at a cost exponential in the number of nulls of chase(I1); the
+``max_nulls`` guard protects against misuse on large instances.
+
+The module also implements ``compose_full``: the classical composition
+algorithm for the case where the first mapping is full (cf. the
+composition literature the paper builds on, [5] in its references),
+obtained by resolving each premise of the second mapping against the
+first mapping's conclusions — a direct reuse of MinGen.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.datamodel.atoms import Atom, atoms_variables
+from repro.datamodel.instances import Instance
+from repro.datamodel.terms import Constant, Null, Term, Variable
+from repro.dependencies.dependency import Dependency, Premise
+from repro.core.generators import MinGenConfig, minimal_generators
+from repro.core.mapping import (
+    MappingError,
+    SchemaMapping,
+    is_solution,
+    universal_solution,
+)
+
+
+class CompositionBudgetError(RuntimeError):
+    """Raised when a membership check would enumerate too many images."""
+
+
+def _candidate_intermediates(
+    mapping: SchemaMapping,
+    left: Instance,
+    right: Instance,
+    max_nulls: int,
+) -> Iterator[Instance]:
+    """All sufficient candidate intermediate instances J (see module doc)."""
+    chased = universal_solution(mapping, left)
+    chase_nulls = sorted(chased.nulls())
+    if len(chase_nulls) > max_nulls:
+        raise CompositionBudgetError(
+            f"chase has {len(chase_nulls)} nulls (> max_nulls={max_nulls})"
+        )
+    adom_constants = sorted(
+        set(left.constants()) | set(right.constants())
+    )
+    fresh_constants = []
+    taken = {c.value for c in adom_constants if isinstance(c.value, str)}
+    counter = 0
+    while len(fresh_constants) < len(chase_nulls):
+        candidate = f"fresh_{counter}"
+        counter += 1
+        if candidate not in taken:
+            fresh_constants.append(Constant(candidate))
+    targets: List[Term] = list(chase_nulls) + adom_constants + fresh_constants
+    if not chase_nulls:
+        yield chased
+        return
+    for images in product(targets, repeat=len(chase_nulls)):
+        mapping_dict: Dict[Term, Term] = dict(zip(chase_nulls, images))
+        yield chased.substitute(mapping_dict)
+
+
+def composition_membership(
+    first: SchemaMapping,
+    second: SchemaMapping,
+    left: Instance,
+    right: Instance,
+    *,
+    max_nulls: int = 7,
+) -> bool:
+    """Decide (left, right) ∈ Inst(first ∘ second).
+
+    *first* must be a tgd mapping (so the chase characterizes its
+    solutions); *second* may use the full dependency language
+    (disjunctions, Constant(), inequalities).
+    """
+    for candidate in _candidate_intermediates(first, left, right, max_nulls):
+        if is_solution(second, candidate, right):
+            return True
+    return False
+
+
+def compose_full(
+    first: SchemaMapping,
+    second: SchemaMapping,
+    *,
+    mingen_config: Optional[MinGenConfig] = None,
+    name: str = "",
+) -> SchemaMapping:
+    """Compose two mappings when the first is specified by *full* tgds.
+
+    For each tgd of *second* with premise phi2(x, u) over the middle
+    schema, every minimal generator beta(x', z) of ``exists u phi2``
+    with respect to *first* (where x' are the variables shared with
+    the conclusion) yields a composed tgd beta -> conclusion.  The
+    result specifies first ∘ second.
+    """
+    if not first.is_tgd_mapping() or not first.is_full():
+        raise MappingError("compose_full requires a full tgd first mapping")
+    if not second.is_tgd_mapping():
+        raise MappingError("compose_full requires a tgd second mapping")
+    if first.target.relations != second.source.relations:
+        raise MappingError(
+            "middle schemas differ: "
+            f"{first.target} vs {second.source}"
+        )
+
+    composed: List[Dependency] = []
+    seen = set()
+    for sigma in second.dependencies:
+        frontier = sigma.frontier()
+        goal = sigma.premise.atoms
+        for generator in minimal_generators(
+            first, goal, frontier, config=mingen_config
+        ):
+            candidate = Dependency(
+                Premise(generator.atoms), (sigma.disjuncts[0],)
+            )
+            key = candidate.canonical_form()
+            if key not in seen:
+                seen.add(key)
+                composed.append(candidate)
+    return SchemaMapping(
+        first.source,
+        second.target,
+        tuple(composed),
+        name=name
+        or (
+            f"{first.name}∘{second.name}"
+            if first.name and second.name
+            else ""
+        ),
+    )

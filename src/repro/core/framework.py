@@ -1,0 +1,315 @@
+"""The unifying framework of Section 3: (∼1,∼2)-inverses.
+
+The key idea is to relax the identity Inst(Id) = Inst(M ∘ M') modulo
+equivalence relations contained in ∼M (equal solution spaces):
+
+* :class:`Equality` is ``=`` — plugging it in on both sides gives the
+  notion of an *inverse* (Corollary 3.6);
+* :class:`SolutionEquivalence` is ∼M itself — giving *quasi-inverses*
+  (Definition 3.8), the most relaxed notion in the spectrum
+  (Proposition 3.7).
+
+Theorem 3.5 makes the (∼1,∼2)-subset property (Definition 3.4) the
+exact existence criterion.  The subset property and the
+(∼1,∼2)-inverse definition quantify over *all* ground instances; the
+checkers here quantify over explicitly supplied finite universes and
+are therefore *falsifiers*: a reported violation (with witnesses) is
+a real violation, while a pass is evidence bounded by the universe.
+All of the paper's counterexamples have witnesses small enough for
+these checkers to find (see experiments E2, E4, E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.datamodel.instances import Instance
+from repro.core.mapping import (
+    SchemaMapping,
+    data_exchange_equivalent,
+    solutions_contained,
+)
+from repro.core.composition import composition_membership
+
+
+class EquivalenceRelation(Protocol):
+    """An equivalence relation on ground instances."""
+
+    def related(self, left: Instance, right: Instance) -> bool:
+        """Are the two ground instances equivalent?"""
+        ...
+
+
+@dataclass(frozen=True)
+class Equality:
+    """The equality relation ``=`` (gives inverses)."""
+
+    def related(self, left: Instance, right: Instance) -> bool:
+        return left == right
+
+    def __str__(self) -> str:
+        return "="
+
+
+@dataclass(frozen=True)
+class SolutionEquivalence:
+    """The paper's ∼M: equal spaces of solutions (gives quasi-inverses)."""
+
+    mapping: SchemaMapping
+
+    def related(self, left: Instance, right: Instance) -> bool:
+        return data_exchange_equivalent(self.mapping, left, right)
+
+    def __str__(self) -> str:
+        return f"∼{self.mapping.name or 'M'}"
+
+
+@dataclass(frozen=True)
+class SubsetPropertyReport:
+    """Outcome of a bounded (∼1,∼2)-subset property check.
+
+    ``violations`` lists pairs (I1, I2) with Sol(I2) ⊆ Sol(I1) for
+    which no witness pair (I1', I2') with I1 ∼1 I1', I2 ∼2 I2' and
+    I1' ⊆ I2' exists in the witness universe.  ``checked`` counts the
+    containment pairs examined.
+    """
+
+    holds: bool
+    checked: int
+    violations: Tuple[Tuple[Instance, Instance], ...] = ()
+
+
+def _default_witnesses(universe: Sequence[Instance]) -> List[Instance]:
+    """Universe closed under pairwise unions.
+
+    The paper's positive subset-property proofs (Example 3.10,
+    Proposition 3.11) construct the witness I2' = I1 ∪ I2, so closing
+    the witness pool under unions makes the bounded check complete on
+    those arguments.
+    """
+    pool = list(universe)
+    seen = set(pool)
+    for left in universe:
+        for right in universe:
+            union = left.union(right)
+            if union not in seen:
+                seen.add(union)
+                pool.append(union)
+    return pool
+
+
+def subset_property(
+    mapping: SchemaMapping,
+    relation1: EquivalenceRelation,
+    relation2: EquivalenceRelation,
+    universe: Sequence[Instance],
+    *,
+    witness_universe: Optional[Sequence[Instance]] = None,
+    stop_at_first_violation: bool = True,
+) -> SubsetPropertyReport:
+    """Bounded check of the (∼1,∼2)-subset property (Definition 3.4).
+
+    For every pair from *universe* with Sol(M, I2) ⊆ Sol(M, I1), look
+    for witnesses (I1', I2') in *witness_universe* (default: the
+    universe closed under pairwise unions) with I1 ∼1 I1', I2 ∼2 I2'
+    and I1' ⊆ I2'.
+    """
+    witnesses = (
+        list(witness_universe)
+        if witness_universe is not None
+        else _default_witnesses(universe)
+    )
+    checked = 0
+    violations: List[Tuple[Instance, Instance]] = []
+    for left in universe:
+        for right in universe:
+            if not solutions_contained(mapping, right, left):
+                continue  # only pairs with Sol(I2) ⊆ Sol(I1) matter
+            checked += 1
+            if _has_subset_witness(mapping, relation1, relation2, left, right, witnesses):
+                continue
+            violations.append((left, right))
+            if stop_at_first_violation:
+                return SubsetPropertyReport(False, checked, tuple(violations))
+    return SubsetPropertyReport(not violations, checked, tuple(violations))
+
+
+def _has_subset_witness(
+    mapping: SchemaMapping,
+    relation1: EquivalenceRelation,
+    relation2: EquivalenceRelation,
+    left: Instance,
+    right: Instance,
+    witnesses: Sequence[Instance],
+) -> bool:
+    for left_prime in witnesses:
+        if not relation1.related(left, left_prime):
+            continue
+        for right_prime in witnesses:
+            if left_prime.issubset(right_prime) and relation2.related(
+                right, right_prime
+            ):
+                return True
+    return False
+
+
+def unique_solutions_property(
+    mapping: SchemaMapping, universe: Sequence[Instance]
+) -> Tuple[bool, Tuple[Tuple[Instance, Instance], ...]]:
+    """Bounded check of the unique-solutions property (from [3]).
+
+    Returns (holds, violations): pairs of *distinct* instances from
+    the universe with equal solution spaces.  A violation certifies
+    non-invertibility.
+    """
+    violations: List[Tuple[Instance, Instance]] = []
+    ordered = list(universe)
+    for index, left in enumerate(ordered):
+        for right in ordered[index + 1 :]:
+            if left != right and data_exchange_equivalent(mapping, left, right):
+                violations.append((left, right))
+    return (not violations, tuple(violations))
+
+
+@dataclass(frozen=True)
+class InverseCheckReport:
+    """Outcome of a bounded (∼1,∼2)-inverse check.
+
+    ``mismatches`` are pairs (I1, I2) on which the two sides of
+    Definition 3.3 disagree, with the direction recorded:
+    ``"id_only"`` means (I1,I2) ∈ Inst(Id)[∼1,∼2] but not in
+    Inst(M∘M')[∼1,∼2] over the witness pool, and ``"comp_only"`` the
+    converse.
+    """
+
+    holds: bool
+    checked: int
+    mismatches: Tuple[Tuple[Instance, Instance, str], ...] = ()
+
+
+def is_quasi_inverse(
+    mapping: SchemaMapping,
+    candidate: SchemaMapping,
+    universe: Sequence[Instance],
+    *,
+    witness_universe: Optional[Sequence[Instance]] = None,
+    max_nulls: int = 7,
+    stop_at_first_mismatch: bool = True,
+) -> InverseCheckReport:
+    """Bounded check that *candidate* is a quasi-inverse of *mapping*.
+
+    Instantiates Definition 3.8: both ∼1 and ∼2 are ∼M.  Use
+    :func:`is_generalized_inverse` for other relation pairs.
+    """
+    equivalence = SolutionEquivalence(mapping)
+    return is_generalized_inverse(
+        mapping,
+        candidate,
+        equivalence,
+        equivalence,
+        universe,
+        witness_universe=witness_universe,
+        max_nulls=max_nulls,
+        stop_at_first_mismatch=stop_at_first_mismatch,
+    )
+
+
+def is_generalized_inverse(
+    mapping: SchemaMapping,
+    candidate: SchemaMapping,
+    relation1: EquivalenceRelation,
+    relation2: EquivalenceRelation,
+    universe: Sequence[Instance],
+    *,
+    witness_universe: Optional[Sequence[Instance]] = None,
+    max_nulls: int = 7,
+    stop_at_first_mismatch: bool = True,
+) -> InverseCheckReport:
+    """Bounded check of Definition 3.3: is *candidate* a
+    (∼1,∼2)-inverse of *mapping*?
+
+    For every pair (I1, I2) from *universe*, compares membership of
+    (I1, I2) in Inst(Id)[∼1,∼2] and in Inst(M∘M')[∼1,∼2], with the
+    existential witnesses (I1', I2') drawn from *witness_universe*
+    (default: the universe closed under pairwise unions).  A reported
+    mismatch of kind ``"comp_only"`` is a definite refutation; one of
+    kind ``"id_only"`` refutes up to the witness pool.
+    """
+    witnesses = (
+        list(witness_universe)
+        if witness_universe is not None
+        else _default_witnesses(universe)
+    )
+
+    def in_id_closure(left: Instance, right: Instance) -> bool:
+        for left_prime in witnesses:
+            if not relation1.related(left, left_prime):
+                continue
+            for right_prime in witnesses:
+                if left_prime.issubset(right_prime) and relation2.related(
+                    right, right_prime
+                ):
+                    return True
+        return False
+
+    def in_comp_closure(left: Instance, right: Instance) -> bool:
+        for left_prime in witnesses:
+            if not relation1.related(left, left_prime):
+                continue
+            for right_prime in witnesses:
+                if not relation2.related(right, right_prime):
+                    continue
+                if composition_membership(
+                    mapping, candidate, left_prime, right_prime, max_nulls=max_nulls
+                ):
+                    return True
+        return False
+
+    checked = 0
+    mismatches: List[Tuple[Instance, Instance, str]] = []
+    for left in universe:
+        for right in universe:
+            checked += 1
+            in_id = in_id_closure(left, right)
+            in_comp = in_comp_closure(left, right)
+            if in_id == in_comp:
+                continue
+            kind = "id_only" if in_id else "comp_only"
+            mismatches.append((left, right, kind))
+            if stop_at_first_mismatch:
+                return InverseCheckReport(False, checked, tuple(mismatches))
+    return InverseCheckReport(not mismatches, checked, tuple(mismatches))
+
+
+def is_inverse(
+    mapping: SchemaMapping,
+    candidate: SchemaMapping,
+    universe: Sequence[Instance],
+    *,
+    max_nulls: int = 7,
+    stop_at_first_mismatch: bool = True,
+) -> InverseCheckReport:
+    """Bounded check that *candidate* is an inverse of *mapping*.
+
+    Definition (Section 2): Inst(Id) = Inst(M ∘ M') — i.e. for ground
+    pairs, I1 ⊆ I2 iff (I1, I2) ∈ Inst(M ∘ M').  Equality of the two
+    relations is checked pairwise over *universe*; both membership
+    tests are exact, so any mismatch is a definite refutation.
+    """
+    checked = 0
+    mismatches: List[Tuple[Instance, Instance, str]] = []
+    for left in universe:
+        for right in universe:
+            checked += 1
+            in_id = left.issubset(right)
+            in_comp = composition_membership(
+                mapping, candidate, left, right, max_nulls=max_nulls
+            )
+            if in_id == in_comp:
+                continue
+            kind = "id_only" if in_id else "comp_only"
+            mismatches.append((left, right, kind))
+            if stop_at_first_mismatch:
+                return InverseCheckReport(False, checked, tuple(mismatches))
+    return InverseCheckReport(not mismatches, checked, tuple(mismatches))

@@ -1,0 +1,131 @@
+"""Logical implication between dependencies, by chasing frozen premises.
+
+Used for the Section 5 claim that the Inverse algorithm's output M' is
+the *weakest* inverse: any other inverse's dependency set logically
+implies Sigma'.
+
+``logically_implies(Sigma, sigma)`` decides Sigma ⊨ sigma for
+dependencies in the full language of Definition 2.1 by the classical
+critical-instance argument, adapted to constants and inequalities:
+
+* premise variables of sigma are instantiated by every *complete
+  description* (Section 4's delta) — the pattern of equalities among
+  them — because inequalities in the antecedents make satisfaction
+  non-generic;
+* for each description, variables carrying ``Constant()`` freeze to
+  fresh distinct constants and the rest to fresh distinct labeled
+  nulls (so ``Constant(x)`` and ``x != y`` premises of the antecedents
+  evaluate exactly as in an arbitrary model);
+* descriptions that collapse an inequality of sigma's own premise are
+  vacuous and skipped;
+* the frozen instance is chased with the antecedents (the disjunctive
+  chase, so disjunctive antecedents branch); sigma is implied iff on
+  *every* leaf some disjunct of sigma's conclusion embeds, fixing the
+  frozen premise assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.chase.disjunctive import disjunctive_chase
+from repro.chase.homomorphism import find_homomorphism
+from repro.datamodel.instances import Instance
+from repro.datamodel.terms import Constant, Null, Term
+from repro.dependencies.dependency import Dependency
+from repro.dependencies.descriptions import complete_descriptions
+
+
+def logically_implies(
+    antecedents: Sequence[Dependency],
+    consequent: Dependency,
+    *,
+    max_nodes: int = 10_000,
+) -> bool:
+    """Decide whether the conjunction of *antecedents* implies *consequent*."""
+    antecedents = tuple(antecedents)
+    premise_vars = consequent.premise_variables()
+    for description in complete_descriptions(premise_vars):
+        collapsed = any(
+            description[left] == description[right]
+            for left, right in consequent.premise.inequalities
+        )
+        if collapsed:
+            continue  # this instantiation pattern falsifies the premise
+        try:
+            quotiented = consequent.substitute(dict(description))
+        except Exception:
+            continue  # the quotient is inconsistent with the premise
+        if not _implies_frozen(antecedents, quotiented, max_nodes):
+            return False
+    return True
+
+
+def _implies_frozen(
+    antecedents: Sequence[Dependency], consequent: Dependency, max_nodes: int
+) -> bool:
+    """The critical-instance test for one equality pattern."""
+    frozen: Dict[Term, Term] = {}
+    constant_counter = 0
+    null_counter = 0
+    for variable in consequent.premise_variables():
+        if variable in consequent.premise.constant_vars:
+            constant_counter += 1
+            frozen[variable] = Constant(f"_c{constant_counter}")
+        else:
+            null_counter += 1
+            frozen[variable] = Null(f"_n{null_counter}")
+    instance = Instance.of(
+        atom.substitute(frozen) for atom in consequent.premise.atoms
+    )
+    tree = disjunctive_chase(instance, antecedents, max_nodes=max_nodes)
+    for leaf in tree.leaves():
+        satisfied = any(
+            find_homomorphism(
+                tuple(atom.substitute(frozen) for atom in disjunct),
+                leaf,
+            )
+            is not None
+            for disjunct in consequent.disjuncts
+        )
+        if not satisfied:
+            return False
+    return True
+
+
+def logically_equivalent(
+    left: Sequence[Dependency], right: Sequence[Dependency]
+) -> bool:
+    """Mutual implication of two dependency sets."""
+    left = tuple(left)
+    right = tuple(right)
+    return all(logically_implies(left, dep) for dep in right) and all(
+        logically_implies(right, dep) for dep in left
+    )
+
+
+def minimize_dependency_set(
+    dependencies: Sequence[Dependency], *, max_nodes: int = 10_000
+) -> tuple:
+    """A logically equivalent subset with no redundant member.
+
+    Greedily drops any dependency implied by the remaining ones
+    (checked with :func:`logically_implies`), scanning in reverse
+    order so earlier members are preferred as keepers.  The result is
+    an irredundant *subset*; like all minimization by greedy deletion
+    it need not be the globally smallest equivalent set.
+
+    Useful for simplifying algorithm outputs: e.g. the LAV
+    quasi-inverse of Projection contains both
+    ``Q(x) ∧ Constant(x) -> P(x, x)`` and the weaker
+    ``Q(x) ∧ Constant(x) -> ∃y P(x, y)``; the latter is dropped.
+    """
+    kept = list(dependencies)
+    index = len(kept) - 1
+    while index >= 0:
+        candidate = kept[index]
+        rest = kept[:index] + kept[index + 1 :]
+        if rest and logically_implies(rest, candidate, max_nodes=max_nodes):
+            kept = rest
+        index -= 1
+    return tuple(kept)

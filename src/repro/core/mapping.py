@@ -1,0 +1,208 @@
+"""Schema mappings and solution-space reasoning.
+
+A schema mapping is a triple M = (S, T, Sigma).  For M specified by
+s-t tgds and a ground instance I, the chase of I with Sigma is a
+universal solution (Section 2), and a target instance J is a solution
+for I exactly when there is a homomorphism chase(I) -> J.  This gives
+decision procedures for the two relations everything else in the
+paper is built from:
+
+* Sol(M, I2) ⊆ Sol(M, I1)  ⟺  chase(I1) -> chase(I2);
+* I1 ∼M I2  ⟺  chase(I1) and chase(I2) homomorphically equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.chase.homomorphism import (
+    all_homomorphisms,
+    find_homomorphism,
+    instance_homomorphism,
+)
+from repro.chase.standard import NullFactory, chase
+from repro.datamodel.atoms import Atom
+from repro.datamodel.instances import Instance
+from repro.datamodel.schemas import Schema
+from repro.datamodel.terms import Variable
+from repro.dependencies.dependency import Dependency, LanguageFeatures, language_audit
+from repro.dependencies.parser import parse_dependencies
+
+
+class MappingError(ValueError):
+    """Raised for malformed schema mappings or unsupported operations."""
+
+
+@dataclass(frozen=True)
+class SchemaMapping:
+    """A schema mapping M = (source, target, dependencies)."""
+
+    source: Schema
+    target: Schema
+    dependencies: Tuple[Dependency, ...]
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dependencies", tuple(self.dependencies))
+        for dependency in self.dependencies:
+            dependency.validate(self.source, self.target)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_text(
+        cls,
+        source: Schema,
+        target: Schema,
+        text: str,
+        name: str = "",
+    ) -> "SchemaMapping":
+        """Build a mapping from the parser's text syntax."""
+        return cls(source, target, parse_dependencies(text), name=name)
+
+    # -- classification ------------------------------------------------------
+
+    def is_tgd_mapping(self) -> bool:
+        """All dependencies are plain s-t tgds."""
+        return all(dependency.is_tgd() for dependency in self.dependencies)
+
+    def is_full(self) -> bool:
+        """No existential quantifiers in any conclusion."""
+        return all(dependency.is_full() for dependency in self.dependencies)
+
+    def is_lav(self) -> bool:
+        """Every dependency has a single-atom premise (and is a tgd)."""
+        return all(dependency.is_lav() for dependency in self.dependencies)
+
+    def language_features(self) -> LanguageFeatures:
+        return language_audit(self.dependencies)
+
+    # -- schema surgery ------------------------------------------------------
+
+    def augment_source(self, relation: str, arity: int) -> "SchemaMapping":
+        """The Introduction's M* = (S ∪ {R}, T, Sigma)."""
+        return SchemaMapping(
+            self.source.augment(relation, arity),
+            self.target,
+            self.dependencies,
+            name=f"{self.name}+{relation}" if self.name else "",
+        )
+
+    def augment_target(self, relation: str, arity: int) -> "SchemaMapping":
+        """Adds a fresh relation symbol to the target schema."""
+        return SchemaMapping(
+            self.source,
+            self.target.augment(relation, arity),
+            self.dependencies,
+            name=f"{self.name}+{relation}" if self.name else "",
+        )
+
+    def __str__(self) -> str:
+        label = self.name or "M"
+        rendered = "; ".join(str(d) for d in self.dependencies)
+        return f"{label}: {self.source} -> {self.target} with {{{rendered}}}"
+
+
+def identity_mapping(schema: Schema, name: str = "Id") -> SchemaMapping:
+    """The identity schema mapping Id = (S, Ŝ, {R(x) -> R(x)}).
+
+    Following the paper's notational simplification, the replica
+    schema Ŝ reuses the relation names of S; Inst(Id) is then the set
+    of ground pairs (I1, I2) with I1 ⊆ I2.
+    """
+    from repro.dependencies.dependency import Premise
+
+    dependencies = []
+    for relation, arity in schema.relations:
+        variables = tuple(Variable(f"x{i + 1}") for i in range(arity))
+        current = Atom(relation, variables)
+        dependencies.append(Dependency(Premise((current,)), ((current,),)))
+    return SchemaMapping(schema, schema, tuple(dependencies), name=name)
+
+
+def _require_tgds(mapping: SchemaMapping, operation: str) -> None:
+    if not mapping.is_tgd_mapping():
+        raise MappingError(
+            f"{operation} requires a mapping specified by plain s-t tgds"
+        )
+
+
+@lru_cache(maxsize=8192)
+def universal_solution(mapping: SchemaMapping, instance: Instance) -> Instance:
+    """chase_Sigma(I): a universal solution for *instance* under *mapping*.
+
+    Requires a tgd mapping and caches results, since the solution-space
+    relations below all reduce to chases plus homomorphism tests.
+    """
+    _require_tgds(mapping, "universal_solution")
+    result = chase(instance, mapping.dependencies)
+    return result.instance.restrict_to(mapping.target)
+
+
+@lru_cache(maxsize=2048)
+def core_universal_solution(mapping: SchemaMapping, instance: Instance) -> Instance:
+    """The *core* of the universal solution.
+
+    The smallest universal solution, unique up to isomorphism; two
+    ground instances are ∼M-equivalent exactly when their core
+    solutions are isomorphic.  More expensive than
+    :func:`universal_solution` (core computation searches for proper
+    retractions), but canonical — useful for caching, display, and as
+    the normal form behind data-exchange equivalence classes.
+    """
+    from repro.chase.homomorphism import core
+
+    return core(universal_solution(mapping, instance))
+
+
+def is_solution(mapping: SchemaMapping, instance: Instance, candidate: Instance) -> bool:
+    """Model checking: does (instance, candidate) satisfy Sigma?
+
+    Works for the full dependency language (disjunctions, Constant(),
+    inequalities): for every premise match in *instance* some disjunct
+    must admit an extension into *candidate*.
+    """
+    for dependency in mapping.dependencies:
+        for match in all_homomorphisms(
+            dependency.premise.atoms,
+            instance,
+            constant_vars=dependency.premise.constant_vars,
+            inequalities=dependency.premise.inequalities,
+        ):
+            satisfied = any(
+                find_homomorphism(disjunct, candidate, fixed=match) is not None
+                for disjunct in dependency.disjuncts
+            )
+            if not satisfied:
+                return False
+    return True
+
+
+def solutions_contained(
+    mapping: SchemaMapping, inner: Instance, outer: Instance
+) -> bool:
+    """Sol(M, inner) ⊆ Sol(M, outer)?
+
+    Equivalent (for tgd mappings) to the existence of a homomorphism
+    chase(outer) -> chase(inner).
+    """
+    return (
+        instance_homomorphism(
+            universal_solution(mapping, outer), universal_solution(mapping, inner)
+        )
+        is not None
+    )
+
+
+def data_exchange_equivalent(
+    mapping: SchemaMapping, left: Instance, right: Instance
+) -> bool:
+    """The paper's I1 ∼M I2: equal solution spaces.
+
+    Equivalent to homomorphic equivalence of the two chase results.
+    """
+    return solutions_contained(mapping, left, right) and solutions_contained(
+        mapping, right, left
+    )

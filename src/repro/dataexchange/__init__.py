@@ -1,0 +1,53 @@
+"""Data exchange with quasi-inverses (Section 6): forward exchange,
+reverse disjunctive exchange, soundness and faithfulness, recovery,
+and certain-answer query evaluation."""
+
+from repro.dataexchange.exchange import (
+    RoundTrip,
+    exchange,
+    reverse_exchange,
+    round_trip,
+)
+from repro.dataexchange.recovery import (
+    RecoveryReport,
+    analyze_round_trip,
+    faithful_on,
+    is_faithful,
+    is_sound,
+    recover,
+    sound_on,
+)
+from repro.dataexchange.queries import (
+    ConjunctiveQuery,
+    certain_answers,
+    evaluate,
+    parse_query,
+)
+from repro.dataexchange.worlds import (
+    certain_answers_over_worlds,
+    possible_answers_over_worlds,
+    recovered_certain_answers,
+    recovered_possible_answers,
+)
+
+__all__ = [
+    "ConjunctiveQuery",
+    "RecoveryReport",
+    "RoundTrip",
+    "analyze_round_trip",
+    "certain_answers",
+    "certain_answers_over_worlds",
+    "evaluate",
+    "possible_answers_over_worlds",
+    "recovered_certain_answers",
+    "recovered_possible_answers",
+    "exchange",
+    "faithful_on",
+    "is_faithful",
+    "is_sound",
+    "parse_query",
+    "recover",
+    "reverse_exchange",
+    "round_trip",
+    "sound_on",
+]

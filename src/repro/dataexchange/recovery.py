@@ -1,0 +1,128 @@
+"""Soundness and faithfulness (Definition 6.5) and recovery.
+
+Let M be specified by s-t tgds and M' be a reverse mapping in the
+disjunctive language.  For a ground instance I with U = chase_Sigma(I),
+V = chase_Sigma'(U) and U' = chase_Sigma(V):
+
+* M' is *sound* w.r.t. M when some member of U' maps homomorphically
+  into U — the round trip invents no facts beyond U;
+* M' is *faithful* w.r.t. M when some member of U' is homomorphically
+  equivalent to U — no exported information is lost either, and the
+  corresponding member of V is "data-exchange equivalent" to I.
+
+Theorem 6.7: every quasi-inverse specified by disjunctive tgds with
+constants and inequalities among constants is sound.  Theorem 6.8:
+the output of algorithm QuasiInverse is faithful.  The experiments
+validate both over the catalog and random workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.chase.homomorphism import (
+    instance_homomorphism,
+    is_homomorphically_equivalent,
+)
+from repro.datamodel.instances import Instance
+from repro.dataexchange.exchange import RoundTrip, round_trip
+from repro.core.mapping import SchemaMapping
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Per-instance soundness/faithfulness verdicts for a round trip."""
+
+    trip: RoundTrip
+    sound: bool
+    faithful: bool
+    faithful_index: Optional[int] = None
+
+    @property
+    def recovered_instance(self) -> Optional[Instance]:
+        """The member of V whose re-exchange is equivalent to U."""
+        if self.faithful_index is None:
+            return None
+        return self.trip.recovered[self.faithful_index]
+
+
+def analyze_round_trip(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    instance: Instance,
+) -> RecoveryReport:
+    """Run the Figure-1 flow and judge soundness and faithfulness."""
+    trip = round_trip(mapping, reverse_mapping, instance)
+    sound = False
+    faithful = False
+    faithful_index: Optional[int] = None
+    for index, re_exported in enumerate(trip.re_exported):
+        if instance_homomorphism(re_exported, trip.exported) is not None:
+            sound = True
+            if instance_homomorphism(trip.exported, re_exported) is not None:
+                faithful = True
+                faithful_index = index
+                break
+    return RecoveryReport(trip, sound, faithful, faithful_index)
+
+
+def is_sound(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    instance: Instance,
+) -> bool:
+    """Definition 6.5(1) on one ground instance."""
+    return analyze_round_trip(mapping, reverse_mapping, instance).sound
+
+
+def is_faithful(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    instance: Instance,
+) -> bool:
+    """Definition 6.5(2) on one ground instance."""
+    return analyze_round_trip(mapping, reverse_mapping, instance).faithful
+
+
+def sound_on(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    instances: Iterable[Instance],
+) -> Tuple[bool, Tuple[Instance, ...]]:
+    """Check soundness over many instances; returns (ok, violators)."""
+    violators = tuple(
+        instance
+        for instance in instances
+        if not is_sound(mapping, reverse_mapping, instance)
+    )
+    return (not violators, violators)
+
+
+def faithful_on(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    instances: Iterable[Instance],
+) -> Tuple[bool, Tuple[Instance, ...]]:
+    """Check faithfulness over many instances; returns (ok, violators)."""
+    violators = tuple(
+        instance
+        for instance in instances
+        if not is_faithful(mapping, reverse_mapping, instance)
+    )
+    return (not violators, violators)
+
+
+def recover(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    instance: Instance,
+) -> Optional[Instance]:
+    """Recover a source instance data-exchange equivalent to *instance*.
+
+    Searches the members of V = chase_Sigma'(chase_Sigma(I)) for one
+    whose re-exchange is homomorphically equivalent to the original
+    export (the selection procedure described after Definition 6.5).
+    Returns None when the reverse mapping is not faithful on I.
+    """
+    return analyze_round_trip(mapping, reverse_mapping, instance).recovered_instance

@@ -1,0 +1,98 @@
+"""Possible-worlds reasoning over disjunctive recovery.
+
+When the reverse mapping is disjunctive, chase_Sigma'(U) is a *set*
+of source instances (the leaves of the disjunctive chase) — the
+possible worlds consistent with the exported data.  This module
+answers conjunctive queries across that set:
+
+* *certain* answers hold in every world (skeptical semantics);
+* *possible* answers hold in at least one world (brave semantics).
+
+Answers containing nulls are discarded, mirroring the certain-answer
+semantics of data exchange.  For a faithful quasi-inverse and a
+source-schema query q, every certain answer over the worlds is a
+certain answer of q over sources ∼M-equivalent to the original — the
+information the exported data still determines.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Tuple
+
+from repro.datamodel.instances import Instance
+from repro.datamodel.terms import Constant
+from repro.dataexchange.exchange import exchange, reverse_exchange
+from repro.dataexchange.queries import ConjunctiveQuery, evaluate
+from repro.core.mapping import SchemaMapping
+
+Answer = Tuple[Constant, ...]
+
+
+def _constant_answers(
+    query: ConjunctiveQuery, world: Instance
+) -> FrozenSet[Answer]:
+    return frozenset(
+        answer
+        for answer in evaluate(query, world)
+        if all(isinstance(value, Constant) for value in answer)
+    )
+
+
+def certain_answers_over_worlds(
+    query: ConjunctiveQuery, worlds: Sequence[Instance]
+) -> FrozenSet[Answer]:
+    """Answers that hold in *every* world (skeptical semantics).
+
+    The empty world set yields no certain answers (there is nothing to
+    be certain about), matching the convention that an empty
+    disjunctive chase result carries no information.
+    """
+    worlds = tuple(worlds)
+    if not worlds:
+        return frozenset()
+    result = _constant_answers(query, worlds[0])
+    for world in worlds[1:]:
+        if not result:
+            break
+        result = result & _constant_answers(query, world)
+    return result
+
+
+def possible_answers_over_worlds(
+    query: ConjunctiveQuery, worlds: Sequence[Instance]
+) -> FrozenSet[Answer]:
+    """Answers that hold in *some* world (brave semantics)."""
+    result: FrozenSet[Answer] = frozenset()
+    for world in worlds:
+        result = result | _constant_answers(query, world)
+    return result
+
+
+def recovered_certain_answers(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    source: Instance,
+    query: ConjunctiveQuery,
+) -> FrozenSet[Answer]:
+    """Skeptical answers to a source query after a full round trip.
+
+    Exchanges *source* forward, recovers the possible worlds with the
+    reverse mapping, and returns the answers certain across them —
+    what a downstream consumer can still assert about the original
+    source using only the exported data.
+    """
+    exported = exchange(mapping, source)
+    worlds = reverse_exchange(reverse_mapping, exported)
+    return certain_answers_over_worlds(query, worlds)
+
+
+def recovered_possible_answers(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    source: Instance,
+    query: ConjunctiveQuery,
+) -> FrozenSet[Answer]:
+    """Brave answers to a source query after a full round trip."""
+    exported = exchange(mapping, source)
+    worlds = reverse_exchange(reverse_mapping, exported)
+    return possible_answers_over_worlds(query, worlds)

@@ -1,0 +1,105 @@
+"""Relational schemas: finite sets of relation symbols with arities.
+
+A schema mapping is a triple (S, T, Sigma); this module provides the
+S and T parts, including the *replica* construction the paper uses to
+define the identity mapping (Section 2) and the source-augmentation
+construction from the Introduction's robustness discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Tuple, Union
+
+from repro.datamodel.atoms import Atom
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or atoms not conforming to one."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An immutable relational schema.
+
+    Stored as a sorted tuple of (name, arity) pairs so schemas are
+    hashable and deterministically ordered.
+    """
+
+    relations: Tuple[Tuple[str, int], ...]
+    _index: Mapping[str, int] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        index: Dict[str, int] = {}
+        for name, arity in self.relations:
+            if not name:
+                raise SchemaError("relation names must be non-empty")
+            if arity < 0:
+                raise SchemaError(f"relation {name!r} has negative arity {arity}")
+            if name in index and index[name] != arity:
+                raise SchemaError(
+                    f"relation {name!r} declared with arities {index[name]} and {arity}"
+                )
+            index[name] = arity
+        canonical = tuple(sorted(index.items()))
+        object.__setattr__(self, "relations", canonical)
+        object.__setattr__(self, "_index", index)
+
+    @classmethod
+    def of(cls, spec: Union[Mapping[str, int], Iterable[Tuple[str, int]]]) -> "Schema":
+        """Build a schema from ``{"P": 2, "Q": 1}`` or (name, arity) pairs."""
+        if isinstance(spec, Mapping):
+            return cls(tuple(spec.items()))
+        return cls(tuple(spec))
+
+    def arity(self, relation: str) -> int:
+        try:
+            return self._index[relation]
+        except KeyError:
+            raise SchemaError(f"relation {relation!r} is not in the schema") from None
+
+    def __contains__(self, relation: str) -> bool:
+        return relation in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(name for name, _ in self.relations)
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.relations)
+
+    def validate_atom(self, current: Atom) -> None:
+        """Raise :class:`SchemaError` unless *current* fits this schema."""
+        expected = self.arity(current.relation)
+        if current.arity != expected:
+            raise SchemaError(
+                f"atom {current} has arity {current.arity}, "
+                f"schema declares {current.relation}/{expected}"
+            )
+
+    def is_disjoint_from(self, other: "Schema") -> bool:
+        return not set(self._index) & set(other._index)
+
+    def union(self, other: "Schema") -> "Schema":
+        """The union schema; arities must agree on shared names."""
+        merged = dict(self.relations)
+        for name, arity in other.relations:
+            if name in merged and merged[name] != arity:
+                raise SchemaError(
+                    f"relation {name!r} has arity {merged[name]} in one schema "
+                    f"and {arity} in the other"
+                )
+            merged[name] = arity
+        return Schema.of(merged)
+
+    def augment(self, relation: str, arity: int) -> "Schema":
+        """Add a fresh relation symbol (the Introduction's S ∪ {R})."""
+        if relation in self._index:
+            raise SchemaError(f"relation {relation!r} already in schema")
+        return Schema.of(dict(self.relations) | {relation: arity})
+
+    def __str__(self) -> str:
+        rendered = ", ".join(f"{name}/{arity}" for name, arity in self.relations)
+        return f"{{{rendered}}}"

@@ -1,0 +1,36 @@
+"""The dependency language of the paper (Definition 2.1).
+
+Source-to-target tgds, full tgds, LAV tgds, and the richer classes
+needed to express inverses and quasi-inverses: (disjunctive) tgds with
+``Constant(x)`` conjuncts and inequalities in the left-hand side.
+"""
+
+from repro.dependencies.dependency import (
+    Dependency,
+    DependencyError,
+    LanguageFeatures,
+    Premise,
+    tgd,
+)
+from repro.dependencies.parser import ParseError, parse_dependencies, parse_dependency
+from repro.dependencies.descriptions import (
+    complete_descriptions,
+    set_partitions,
+    sigma_star,
+)
+from repro.dependencies.rendering import render_dependency
+
+__all__ = [
+    "Dependency",
+    "DependencyError",
+    "LanguageFeatures",
+    "ParseError",
+    "Premise",
+    "complete_descriptions",
+    "parse_dependencies",
+    "parse_dependency",
+    "render_dependency",
+    "set_partitions",
+    "sigma_star",
+    "tgd",
+]

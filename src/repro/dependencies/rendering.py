@@ -1,0 +1,53 @@
+"""Pretty printing for dependencies (unicode or pure ASCII)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dependencies import dependency as _dependency
+
+
+def render_dependency(dep: "_dependency.Dependency", unicode: bool = True) -> str:
+    """Render *dep* in the paper's notation.
+
+    Unicode: ``P(x, y) ∧ Constant(x) ∧ x ≠ y → ∃z (Q(x, z)) ∨ Q(x, y)``
+    ASCII:   ``P(x, y) & Constant(x) & x != y -> exists z . (Q(x, z)) | Q(x, y)``
+    """
+    conj = " ∧ " if unicode else " & "
+    arrow = " → " if unicode else " -> "
+    disj = " ∨ " if unicode else " | "
+    neq = "≠" if unicode else "!="
+
+    premise_parts: List[str] = [str(a) for a in dep.premise.atoms]
+    premise_parts.extend(
+        f"Constant({v})" for v in sorted(dep.premise.constant_vars)
+    )
+    premise_parts.extend(
+        f"{left} {neq} {right}" for left, right in sorted(dep.premise.inequalities)
+    )
+
+    rendered_disjuncts: List[str] = []
+    for index, disjunct in enumerate(dep.disjuncts):
+        existentials = dep.existential_variables(index)
+        body = conj.join(str(a) for a in disjunct)
+        if existentials:
+            names = ",".join(v.name for v in existentials)
+            if unicode:
+                prefix = f"∃{names} "
+            else:
+                prefix = f"exists {names} . "
+            rendered = f"{prefix}({body})" if len(disjunct) > 1 else f"{prefix}{body}"
+        else:
+            rendered = f"({body})" if len(disjunct) > 1 and len(dep.disjuncts) > 1 else body
+        rendered_disjuncts.append(rendered)
+
+    return conj.join(premise_parts) + arrow + disj.join(rendered_disjuncts)
+
+
+def render_dependencies(
+    dependencies, unicode: bool = True, indent: str = "  "
+) -> str:
+    """Render a set of dependencies, one per line."""
+    return "\n".join(
+        f"{indent}{render_dependency(dep, unicode=unicode)}" for dep in dependencies
+    )

@@ -1,0 +1,20 @@
+"""The experiment suite: one module per reproduced paper artifact.
+
+Each experiment E1–E14 runs the relevant algorithms/checkers, compares
+against what the paper states, and returns a structured
+:class:`~repro.experiments.base.ExperimentReport`.  The registry and
+runner power both the CLI (``python -m repro.cli``) and the benchmark
+harness (one benchmark per experiment).
+"""
+
+from repro.experiments.base import ExperimentReport, ReportBuilder
+from repro.experiments.registry import all_experiment_ids, get_experiment, run_all, run_experiment
+
+__all__ = [
+    "ExperimentReport",
+    "ReportBuilder",
+    "all_experiment_ids",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+]

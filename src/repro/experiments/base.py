@@ -1,0 +1,84 @@
+"""Experiment report structure shared by all experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Check:
+    """One named pass/fail comparison against the paper."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"  [{status}] {self.name}{suffix}"
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """The structured outcome of one experiment."""
+
+    experiment_id: str
+    title: str
+    paper_artifact: str
+    checks: Tuple[Check, ...]
+    lines: Tuple[str, ...]
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def render(self) -> str:
+        header = (
+            f"== {self.experiment_id}: {self.title} "
+            f"(paper: {self.paper_artifact}) =="
+        )
+        body: List[str] = [header]
+        body.extend(self.lines)
+        body.extend(check.render() for check in self.checks)
+        verdict = "ALL CHECKS PASS" if self.passed else "SOME CHECKS FAILED"
+        body.append(f"  => {verdict} ({sum(c.passed for c in self.checks)}"
+                    f"/{len(self.checks)})")
+        return "\n".join(body)
+
+
+class ReportBuilder:
+    """Accumulates lines and checks while an experiment runs."""
+
+    def __init__(self, experiment_id: str, title: str, paper_artifact: str) -> None:
+        self.experiment_id = experiment_id
+        self.title = title
+        self.paper_artifact = paper_artifact
+        self._checks: List[Check] = []
+        self._lines: List[str] = []
+        self._data: Dict[str, Any] = {}
+
+    def line(self, text: str = "") -> None:
+        self._lines.append(text)
+
+    def lines(self, text: str) -> None:
+        self._lines.extend(text.splitlines())
+
+    def check(self, name: str, passed: bool, detail: str = "") -> bool:
+        self._checks.append(Check(name, bool(passed), detail))
+        return bool(passed)
+
+    def record(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def build(self) -> ExperimentReport:
+        return ExperimentReport(
+            self.experiment_id,
+            self.title,
+            self.paper_artifact,
+            tuple(self._checks),
+            tuple(self._lines),
+            dict(self._data),
+        )

@@ -1,0 +1,62 @@
+"""E3 — Proposition 3.11: every LAV mapping has a quasi-inverse.
+
+Sweeps seeded random LAV mappings and, for each: verifies the
+(∼M, ∼M)-subset property over a bounded universe — including the
+proof's construction I2' = I1 ∪ I2 — and verifies that the
+QuasiInverse algorithm's output is faithful (Theorem 6.8 applied to a
+mapping guaranteed quasi-invertible by this proposition).
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    SolutionEquivalence,
+    data_exchange_equivalent,
+    quasi_inverse,
+    solutions_contained,
+    subset_property,
+)
+from repro.dataexchange import faithful_on
+from repro.experiments.base import ExperimentReport, ReportBuilder
+from repro.workloads import instance_universe, random_ground_instance, random_lav_mapping
+
+N_MAPPINGS = 8
+
+
+def run() -> ExperimentReport:
+    report = ReportBuilder("E3", "LAV mappings are quasi-invertible", "Proposition 3.11")
+    construction_holds = True
+    for seed in range(N_MAPPINGS):
+        mapping = random_lav_mapping(seed, n_source=2, n_target=2, max_arity=2, n_tgds=3)
+        assert mapping.is_lav()
+        universe = instance_universe(mapping.source, ["a", "b"], max_facts=1)
+        equivalence = SolutionEquivalence(mapping)
+        verdict = subset_property(mapping, equivalence, equivalence, universe)
+        report.check(
+            f"seed {seed}: (∼M,∼M)-subset property over {len(universe)} instances",
+            verdict.holds,
+        )
+
+        # The proof's construction: whenever Sol(I2) ⊆ Sol(I1),
+        # I2' = I1 ∪ I2 satisfies I1 ⊆ I2' and I2 ∼M I2'.
+        for left in universe:
+            for right in universe:
+                if not solutions_contained(mapping, right, left):
+                    continue
+                union = left.union(right)
+                if not data_exchange_equivalent(mapping, right, union):
+                    construction_holds = False
+
+        reverse = quasi_inverse(mapping)
+        samples = [
+            random_ground_instance(mapping.source, seed=100 + s, n_facts=3, domain_size=2)
+            for s in range(3)
+        ]
+        ok, _ = faithful_on(mapping, reverse, samples)
+        report.check(f"seed {seed}: QuasiInverse output is faithful", ok)
+    report.check(
+        "the proof's witness construction I2' = I1 ∪ I2 always works",
+        construction_holds,
+        "checked for every containment pair of every universe",
+    )
+    return report.build()

@@ -1,0 +1,68 @@
+"""E4 — Proposition 3.12: a full s-t tgd with no quasi-inverse.
+
+For E(x,z) ∧ E(z,y) → F(x,y) ∧ M(z):
+
+* the complete profile-based search (see
+  :mod:`repro.experiments.prop312_search`) finds a subset-property
+  violation pair, certified over *all* ground instances via the
+  normalization lemma — by Theorem 3.5 the mapping has no
+  quasi-inverse, a fortiori no inverse;
+* the violation is re-validated through the library's generic
+  primitives: Sol(I2) ⊆ Sol(I1) holds, the instances are not
+  ∼M-equivalent, and the bounded generic checker agrees;
+* domain size 2 admits no violation (the witness genuinely needs
+  three constants).
+"""
+
+from __future__ import annotations
+
+from repro.catalog import prop_3_12
+from repro.core import (
+    SolutionEquivalence,
+    data_exchange_equivalent,
+    solutions_contained,
+    subset_property,
+)
+from repro.experiments.base import ExperimentReport, ReportBuilder
+from repro.experiments.prop312_search import search_violation
+
+
+def run() -> ExperimentReport:
+    report = ReportBuilder(
+        "E4", "Full s-t tgd without a quasi-inverse", "Proposition 3.12"
+    )
+    mapping = prop_3_12()
+
+    report.check(
+        "no violation exists over a 2-constant domain",
+        search_violation(domain_size=2) is None,
+    )
+
+    witness = search_violation(domain_size=3)
+    if not report.check("a violation exists over a 3-constant domain", witness is not None):
+        return report.build()
+
+    report.line(f"  violating pair: I1 = {witness.left}")
+    report.line(f"                  I2 = {witness.right}")
+    report.check(
+        "Sol(I2) ⊆ Sol(I1) holds on the witness pair",
+        solutions_contained(mapping, witness.right, witness.left),
+    )
+    report.check(
+        "the pair is not ∼M-equivalent",
+        not data_exchange_equivalent(mapping, witness.left, witness.right),
+    )
+
+    equivalence = SolutionEquivalence(mapping)
+    bounded = subset_property(
+        mapping, equivalence, equivalence, [witness.left, witness.right]
+    )
+    report.check(
+        "the generic bounded checker reports the same violation",
+        not bounded.holds and bounded.violations[0] == (witness.left, witness.right),
+    )
+    report.line(
+        "  by Theorem 3.5, the (∼M,∼M)-subset property failing means the "
+        "mapping has no quasi-inverse."
+    )
+    return report.build()

@@ -1,0 +1,174 @@
+"""E8 — Section 4.1: necessity of the language features.
+
+Theorems 4.8–4.11 exhibit mappings for which *no* (quasi-)inverse
+exists once constants, inequalities, disjunctions, or existential
+quantifiers (respectively) are banned.  The universal "no candidate in
+the restricted language works" halves are proved model-theoretically
+in the paper's full version; what is mechanically reproducible — and
+what this experiment does — is the witness level of each theorem:
+
+* the feature-rich (quasi-)inverse the paper gives (or the algorithms
+  compute) *works*, verified by the exact bounded inverse check or by
+  exact soundness/faithfulness round trips; and
+* the natural feature-stripped candidate *fails*, with an explicit,
+  machine-checked counterexample (an Inst(Id)/Inst(M∘M') mismatch or
+  a soundness violation — both decision procedures, not bounds).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.catalog import thm_4_8, thm_4_8_inverse, thm_4_9, thm_4_10, thm_4_11
+from repro.core import SchemaMapping, inverse, is_inverse, quasi_inverse
+from repro.datamodel.atoms import Atom
+from repro.datamodel.instances import Instance
+from repro.dataexchange import is_sound, sound_on
+from repro.dependencies.dependency import Dependency, Premise
+from repro.experiments.base import ExperimentReport, ReportBuilder
+from repro.workloads import instance_universe, power_instances
+
+
+def strip_constants(mapping: SchemaMapping) -> SchemaMapping:
+    """Remove every Constant() conjunct from the premises."""
+    dependencies = tuple(
+        Dependency(
+            Premise(dep.premise.atoms, frozenset(), dep.premise.inequalities),
+            dep.disjuncts,
+        )
+        for dep in mapping.dependencies
+    )
+    return SchemaMapping(
+        mapping.source, mapping.target, dependencies, name=f"{mapping.name}-noConst"
+    )
+
+
+def strip_inequalities(mapping: SchemaMapping) -> SchemaMapping:
+    """Remove every inequality conjunct from the premises."""
+    dependencies = tuple(
+        Dependency(
+            Premise(dep.premise.atoms, dep.premise.constant_vars, frozenset()),
+            dep.disjuncts,
+        )
+        for dep in mapping.dependencies
+    )
+    return SchemaMapping(
+        mapping.source, mapping.target, dependencies, name=f"{mapping.name}-noNeq"
+    )
+
+
+def strip_disjunctions(mapping: SchemaMapping) -> SchemaMapping:
+    """Commit every disjunctive conclusion to its first disjunct."""
+    dependencies = tuple(
+        Dependency(dep.premise, (dep.disjuncts[0],))
+        for dep in mapping.dependencies
+    )
+    return SchemaMapping(
+        mapping.source, mapping.target, dependencies, name=f"{mapping.name}-noDisj"
+    )
+
+
+def strip_existentials(mapping: SchemaMapping) -> SchemaMapping:
+    """Collapse every existential variable onto the first frontier var."""
+    dependencies: List[Dependency] = []
+    for dep in mapping.dependencies:
+        frontier = dep.frontier()
+        anchor = frontier[0] if frontier else dep.premise_variables()[0]
+        disjuncts: List[Tuple[Atom, ...]] = []
+        for index, disjunct in enumerate(dep.disjuncts):
+            substitution = {v: anchor for v in dep.existential_variables(index)}
+            disjuncts.append(
+                tuple(atom.substitute(substitution) for atom in disjunct)
+            )
+        dependencies.append(Dependency(dep.premise, tuple(disjuncts)))
+    return SchemaMapping(
+        mapping.source,
+        mapping.target,
+        tuple(dependencies),
+        name=f"{mapping.name}-noExists",
+    )
+
+
+def run() -> ExperimentReport:
+    report = ReportBuilder(
+        "E8", "Necessity of constants / inequalities / disjunctions / ∃",
+        "Theorems 4.8–4.11",
+    )
+
+    # --- Theorem 4.8: constants -----------------------------------------
+    mapping = thm_4_8()
+    universe = instance_universe(mapping.source, ["a", "b"], max_facts=2)
+    good = thm_4_8_inverse()
+    report.check(
+        "4.8: the paper's inverse (with Constant) is an inverse",
+        is_inverse(mapping, good, universe).holds,
+        f"{len(universe)}² pairs",
+    )
+    stripped = strip_constants(good)
+    verdict = is_inverse(mapping, stripped, universe)
+    report.check(
+        "4.8: dropping Constant() breaks it",
+        not verdict.holds,
+        f"mismatch on ({verdict.mismatches[0][0]}, {verdict.mismatches[0][1]})"
+        if verdict.mismatches
+        else "",
+    )
+
+    # --- Theorem 4.9: inequalities ---------------------------------------
+    mapping = thm_4_9()
+    universe = instance_universe(mapping.source, ["a", "b"], max_facts=2)
+    good = inverse(mapping, drop_constants_when_full=False)
+    report.check(
+        "4.9: the algorithm's inverse (with inequalities) is an inverse",
+        is_inverse(mapping, good, universe).holds,
+        f"{len(universe)}² pairs",
+    )
+    stripped = strip_inequalities(good)
+    verdict = is_inverse(mapping, stripped, universe)
+    report.check(
+        "4.9: dropping inequalities breaks it",
+        not verdict.holds,
+        f"mismatch on ({verdict.mismatches[0][0]}, {verdict.mismatches[0][1]})"
+        if verdict.mismatches
+        else "",
+    )
+
+    # --- Theorem 4.10: disjunctions ---------------------------------------
+    mapping = thm_4_10()
+    reverse = quasi_inverse(mapping)
+    report.check(
+        "4.10: the computed quasi-inverse genuinely uses disjunctions",
+        any(len(dep.disjuncts) > 1 for dep in reverse.dependencies),
+    )
+    samples = list(
+        power_instances(mapping.source, ["a"], max_facts=2, include_empty=False)
+    )
+    ok, _ = sound_on(mapping, reverse, samples)
+    report.check("4.10: the disjunctive quasi-inverse is sound", ok)
+    committed = strip_disjunctions(reverse)
+    ok, violators = sound_on(mapping, committed, samples)
+    report.check(
+        "4.10: committing to single disjuncts loses soundness",
+        not ok,
+        f"violating instance: {violators[0]}" if violators else "",
+    )
+
+    # --- Theorem 4.11: existential quantifiers -----------------------------
+    mapping = thm_4_11()
+    reverse = quasi_inverse(mapping)
+    report.check(
+        "4.11: the computed quasi-inverse genuinely uses ∃",
+        any(not dep.is_full() for dep in reverse.dependencies),
+    )
+    witness = Instance.build({"P": [("a", "b")]})
+    report.check(
+        "4.11: the quasi-inverse is sound on P(a,b)",
+        is_sound(mapping, reverse, witness),
+    )
+    full_candidate = strip_existentials(reverse)
+    report.check(
+        "4.11: collapsing ∃ onto the frontier loses soundness on P(a,b)",
+        not is_sound(mapping, full_candidate, witness),
+        "recovering P(a,a) invents S(a) on re-exchange",
+    )
+    return report.build()

@@ -1,0 +1,66 @@
+"""E10 — Definition 5.2 / Proposition 5.3: constant propagation.
+
+* every invertible mapping in the catalog satisfies the
+  constant-propagation property (the Proposition's necessary
+  condition);
+* Projection fails it — the chase of P(x1, x2) loses x2 — so the
+  Inverse algorithm halts without output, exactly as Step 1 says;
+* the per-relation report matches the by-hand chase of Example 5.4
+  ("the chase of R(x1,x2) is S(x1,x2,y), which contains both
+  variables").
+"""
+
+from __future__ import annotations
+
+from repro.catalog import (
+    example_5_4,
+    projection,
+    prop_3_12,
+    thm_4_8,
+    thm_4_9,
+    union_mapping,
+)
+from repro.core import (
+    InverseError,
+    constant_propagation_report,
+    has_constant_propagation,
+    inverse,
+)
+from repro.experiments.base import ExperimentReport, ReportBuilder
+
+
+def run() -> ExperimentReport:
+    report = ReportBuilder(
+        "E10", "The constant-propagation property", "Def 5.2 / Prop 5.3"
+    )
+    invertible = [thm_4_8(), thm_4_9(), example_5_4()]
+    for mapping in invertible:
+        report.check(
+            f"{mapping.name} (invertible) propagates constants",
+            has_constant_propagation(mapping),
+            str(constant_propagation_report(mapping)),
+        )
+    # Prop 5.3 is one-directional: propagation does not imply
+    # invertibility — the non-invertible Union mapping propagates.
+    report.check(
+        "Union propagates constants despite not being invertible",
+        has_constant_propagation(union_mapping()),
+    )
+    # The Prop 3.12 mapping fails even this necessary condition: a
+    # lone E-fact fires nothing, so the chase of E(x1,x2) is empty.
+    report.check(
+        "Prop3.12's mapping does not propagate (chase of E(x1,x2) is empty)",
+        constant_propagation_report(prop_3_12()) == {"E": False},
+    )
+    failing = projection()
+    report.check(
+        "Projection does not propagate (the chase of P(x1,x2) loses x2)",
+        constant_propagation_report(failing) == {"P": False},
+    )
+    halted = False
+    try:
+        inverse(failing)
+    except InverseError:
+        halted = True
+    report.check("Inverse(Projection) halts without output (Step 1)", halted)
+    return report.build()

@@ -1,0 +1,83 @@
+"""E11 — **Figure 1** / Example 6.1: the bidirectional exchange tables.
+
+Regenerates the figure cell by cell:
+
+* I = {P(a,b,c), P(a',b,c')};
+* U = chase_Σ(I) = {Q(a,b), Q(a',b), R(b,c), R(b,c')};
+* with M' (the join quasi-inverse), V1 is the 2×2 product
+  {P(a,b,c), P(a,b,c'), P(a',b,c), P(a',b,c')} and chase_Σ(V1) is
+  *identical* to U — M' is faithful;
+* with M'' (the split quasi-inverse), V2 has four facts with four
+  nulls {P(a,b,Z), P(a',b,Z'), P(X,b,c), P(X',b,c')}, and chase_Σ(V2)
+  = U2 strictly contains U but is homomorphically equivalent to it —
+  M'' is faithful too.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import (
+    decomposition,
+    decomposition_quasi_inverse_join,
+    decomposition_quasi_inverse_split,
+    figure_1_instance,
+)
+from repro.chase.homomorphism import is_homomorphically_equivalent
+from repro.datamodel.instances import Instance
+from repro.dataexchange import analyze_round_trip
+from repro.experiments.base import ExperimentReport, ReportBuilder
+
+
+def run() -> ExperimentReport:
+    report = ReportBuilder("E11", "Bidirectional exchange tables", "Figure 1 / Ex 6.1")
+    mapping = decomposition()
+    instance = figure_1_instance()
+
+    expected_u = Instance.build(
+        {"Q": [("a", "b"), ("a'", "b")], "R": [("b", "c"), ("b", "c'")]}
+    )
+    expected_v1 = Instance.build(
+        {
+            "P": [
+                ("a", "b", "c"),
+                ("a", "b", "c'"),
+                ("a'", "b", "c"),
+                ("a'", "b", "c'"),
+            ]
+        }
+    )
+
+    join = analyze_round_trip(mapping, decomposition_quasi_inverse_join(), instance)
+    report.lines(join.trip.pretty())
+    report.check("U matches the figure exactly", join.trip.exported == expected_u)
+    report.check(
+        "M': the reverse exchange is deterministic (single V1)",
+        len(join.trip.recovered) == 1,
+    )
+    report.check(
+        "M': V1 is the figure's 2×2 product instance",
+        join.trip.recovered[0] == expected_v1,
+    )
+    report.check(
+        "M': chase_Σ(V1) is identical to U",
+        join.trip.re_exported[0] == expected_u,
+    )
+    report.check("M' is faithful with respect to M", join.faithful)
+
+    split = analyze_round_trip(mapping, decomposition_quasi_inverse_split(), instance)
+    report.check(
+        "M'': single V2 with four facts over four nulls",
+        len(split.trip.recovered) == 1
+        and len(split.trip.recovered[0]) == 4
+        and len(split.trip.recovered[0].nulls()) == 4,
+    )
+    u2 = split.trip.re_exported[0]
+    report.check(
+        "M'': U2 strictly extends U with null-carrying tuples",
+        expected_u.issubset(u2) and len(u2) > len(expected_u),
+    )
+    report.check(
+        "M'': U2 is homomorphically equivalent to U",
+        is_homomorphically_equivalent(u2, expected_u),
+    )
+    report.check("M'' is faithful with respect to M", split.faithful)
+    return report.build()

@@ -1,0 +1,105 @@
+"""E14 — Section 3 remark: unique solutions do not imply invertibility.
+
+The paper notes (with the proof deferred to the full version) that
+the unique-solutions property of [3] — necessary for invertibility —
+is *not* sufficient: there is a mapping with unique solutions that
+lacks the (=,=)-subset property, hence has no inverse by
+Corollary 3.6.  The catalog's witness, found by exhaustive search
+over small full mappings, is
+
+    A(x) -> C(x)
+    B(x) -> C(x) ∧ D(x)
+    A(x) ∧ B(x) -> E(x)
+
+whose chase profile (C, D, E) = (A ∪ B, B, A ∩ B) is injective in
+(A, B) — solutions are unique — while Sol({B(0)}) ⊆ Sol({A(0)}) and
+{A(0)} ⊄ {B(0)}.  The (=,=)-subset violation involves no unbounded
+quantifier, so the refutation is exact.
+
+The experiment also confirms the implication chain around it: the
+(=,=)-subset property implies unique solutions (checked on every
+invertible catalog mapping), and the Inverse algorithm's output on
+this mapping is indeed not an inverse.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import (
+    example_5_4,
+    thm_4_8,
+    unique_solutions_separation,
+    unique_solutions_separation_witnesses,
+)
+from repro.core import (
+    Equality,
+    inverse,
+    is_inverse,
+    solutions_contained,
+    subset_property,
+    unique_solutions_property,
+)
+from repro.experiments.base import ExperimentReport, ReportBuilder
+from repro.workloads import instance_universe
+
+
+def run() -> ExperimentReport:
+    report = ReportBuilder(
+        "E14", "Unique solutions without an inverse", "Section 3 remark"
+    )
+    mapping = unique_solutions_separation()
+    left, right = unique_solutions_separation_witnesses()
+    universe = instance_universe(mapping.source, [0, 1], max_facts=4)
+
+    unique, _ = unique_solutions_property(mapping, universe)
+    report.check(
+        f"unique-solutions property holds over all {len(universe)} instances",
+        unique,
+        "profile (A∪B, B, A∩B) is injective in (A, B)",
+    )
+    report.check(
+        "Sol(I2) ⊆ Sol(I1) on the witness pair",
+        solutions_contained(mapping, right, left),
+        f"I1 = {left}, I2 = {right}",
+    )
+    report.check(
+        "…but I1 ⊄ I2: an exact (=,=)-subset violation",
+        not left.issubset(right),
+    )
+    equality = Equality()
+    verdict = subset_property(
+        mapping, equality, equality, [left, right], witness_universe=[left, right]
+    )
+    report.check(
+        "the generic checker confirms the violation",
+        not verdict.holds and (left, right) in verdict.violations,
+    )
+    report.line(
+        "  by Corollary 3.6, the mapping has no inverse although the "
+        "necessary condition of [3] holds."
+    )
+
+    computed = inverse(mapping)  # constant propagation holds, so it runs…
+    small = instance_universe(mapping.source, [0], max_facts=2)
+    report.check(
+        "…and indeed the Inverse algorithm's output is not an inverse",
+        not is_inverse(mapping, computed, small).holds,
+    )
+
+    # Sanity of the implication direction: on invertible mappings the
+    # (=,=)-subset property holds, and it entails unique solutions.
+    for invertible in (thm_4_8(), example_5_4()):
+        inv_universe = instance_universe(invertible.source, ["a", "b"], max_facts=2)
+        holds = subset_property(
+            invertible,
+            equality,
+            equality,
+            inv_universe,
+            witness_universe=inv_universe,
+        ).holds
+        unique_inv, _ = unique_solutions_property(invertible, inv_universe)
+        report.check(
+            f"{invertible.name}: (=,=)-subset property and unique solutions "
+            "hold together",
+            holds and unique_inv,
+        )
+    return report.build()

@@ -1,0 +1,110 @@
+"""A complete subset-property refuter for the Proposition 3.12 mapping.
+
+The mapping is  E(x,z) ∧ E(z,y) → F(x,y) ∧ M(z).  For a ground
+instance I (an edge set E), chase(I) is determined by the *profile*
+(F, M) = (the 2-paths of E, the midpoints of E); two instances are
+∼M-equivalent iff their profiles coincide, and Sol(I2) ⊆ Sol(I1) iff
+profile(I1) ⊆ profile(I2) componentwise.
+
+Normalization lemma (specific to this mapping): an edge that
+participates in no 2-path contributes nothing to the profile, so
+deleting it from both members of a witness pair (I1' ⊆ I2') preserves
+profiles and containment.  Every surviving edge lies on a 2-path of
+I2', hence its endpoints lie in adom(F2) ∪ M2 ⊆ adom(chase(I2)).
+Therefore the subset property fails on (I1, I2) *over all ground
+instances* iff it fails with witnesses drawn from edge sets over
+adom(chase(I2)) — a finite, exhaustively searchable space.
+
+The search below enumerates every edge set over a fixed domain as a
+bitmask, computes all profiles, computes the profiles attainable as
+sub-edge-sets of realizations of each profile, and reports pairs
+(profile1 ⊆ profile2) where profile1 is not attainable inside any
+realization of profile2.  Any such pair refutes the (∼M,∼M)-subset
+property outright, which by Theorem 3.5 proves the mapping has no
+quasi-inverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.datamodel.instances import Instance
+
+
+@dataclass(frozen=True)
+class ViolationWitness:
+    """A certified subset-property violation for the 3.12 mapping."""
+
+    left: Instance   # I1
+    right: Instance  # I2
+    domain_size: int  # witnesses searched exhaustively over this domain
+
+
+def _profile(mask: int, pairs: List[Tuple[int, int]], index: Dict[Tuple[int, int], int]):
+    """(F, M) of the edge set encoded by *mask*, as bitmasks."""
+    outgoing: Dict[int, List[int]] = {}
+    edges = [pairs[i] for i in range(len(pairs)) if mask >> i & 1]
+    for source, target in edges:
+        outgoing.setdefault(source, []).append(target)
+    paths = 0
+    midpoints = 0
+    for source, middle in edges:
+        for target in outgoing.get(middle, ()):
+            paths |= 1 << index[(source, target)]
+            midpoints |= 1 << middle
+    return (paths, midpoints)
+
+
+def search_violation(domain_size: int = 3) -> Optional[ViolationWitness]:
+    """Exhaustive search for a subset-property violation.
+
+    Enumerates every instance over a domain of *domain_size* constants
+    (complete for witness pairs whose normalized form fits in that
+    domain, per the module docstring).  Returns the lexicographically
+    first violation, or None.
+    """
+    pairs = [(a, b) for a in range(domain_size) for b in range(domain_size)]
+    index = {pair: i for i, pair in enumerate(pairs)}
+    total = 1 << len(pairs)
+
+    profiles = [_profile(mask, pairs, index) for mask in range(total)]
+    realizations: Dict[Tuple[int, int], List[int]] = {}
+    for mask in range(total):
+        realizations.setdefault(profiles[mask], []).append(mask)
+
+    attainable: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {}
+    for profile, masks in realizations.items():
+        inside: Set[Tuple[int, int]] = set()
+        for mask in masks:
+            submask = mask
+            while True:
+                inside.add(profiles[submask])
+                if submask == 0:
+                    break
+                submask = (submask - 1) & mask
+        attainable[profile] = inside
+
+    ordered = sorted(realizations)
+    for profile1 in ordered:
+        paths1, mids1 = profile1
+        for profile2 in ordered:
+            paths2, mids2 = profile2
+            if paths1 & ~paths2 or mids1 & ~mids2:
+                continue  # need profile1 ⊆ profile2 componentwise
+            if profile1 in attainable[profile2]:
+                continue
+            left_mask = min(realizations[profile1])
+            right_mask = min(realizations[profile2])
+            return ViolationWitness(
+                _to_instance(left_mask, pairs),
+                _to_instance(right_mask, pairs),
+                domain_size,
+            )
+    return None
+
+
+def _to_instance(mask: int, pairs: List[Tuple[int, int]]) -> Instance:
+    return Instance.build(
+        {"E": [pairs[i] for i in range(len(pairs)) if mask >> i & 1]}
+    )

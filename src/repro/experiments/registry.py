@@ -1,0 +1,62 @@
+"""Experiment registry and runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments.base import ExperimentReport
+from repro.experiments import (
+    e01_intro_examples,
+    e02_decomposition,
+    e03_lav_quasi,
+    e04_full_no_quasi,
+    e05_quasiinverse_algorithm,
+    e06_full_language,
+    e07_lav_language,
+    e08_necessity,
+    e09_inverse_algorithm,
+    e10_constant_propagation,
+    e11_figure1,
+    e12_soundness_faithfulness,
+    e13_invertible_comparison,
+    e14_unique_solutions_gap,
+)
+
+_REGISTRY: Dict[str, Callable[[], ExperimentReport]] = {
+    "E1": e01_intro_examples.run,
+    "E2": e02_decomposition.run,
+    "E3": e03_lav_quasi.run,
+    "E4": e04_full_no_quasi.run,
+    "E5": e05_quasiinverse_algorithm.run,
+    "E6": e06_full_language.run,
+    "E7": e07_lav_language.run,
+    "E8": e08_necessity.run,
+    "E9": e09_inverse_algorithm.run,
+    "E10": e10_constant_propagation.run,
+    "E11": e11_figure1.run,
+    "E12": e12_soundness_faithfulness.run,
+    "E13": e13_invertible_comparison.run,
+    "E14": e14_unique_solutions_gap.run,
+}
+
+
+def all_experiment_ids() -> Tuple[str, ...]:
+    return tuple(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentReport]:
+    normalized = experiment_id.upper()
+    if normalized not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(_REGISTRY)}"
+        )
+    return _REGISTRY[normalized]
+
+
+def run_experiment(experiment_id: str) -> ExperimentReport:
+    return get_experiment(experiment_id)()
+
+
+def run_all() -> List[ExperimentReport]:
+    return [runner() for runner in _REGISTRY.values()]

@@ -1,0 +1,46 @@
+"""Exporters: SQL rendering and JSON serialization.
+
+The paper's objects map naturally onto relational databases:
+schemas to DDL, ground instances to DML, full GAV-style tgds to
+INSERT…SELECT statements, and conjunctive queries to SELECT
+statements.  The JSON serializers provide lossless round-trip
+persistence for schemas, instances, dependencies, and mappings.
+"""
+
+from repro.export.sql import (
+    SqlExportError,
+    cq_to_select,
+    instance_to_inserts,
+    mapping_to_sql,
+    schema_to_ddl,
+    tgd_to_insert_select,
+)
+from repro.export.serialization import (
+    SerializationError,
+    dependency_from_json,
+    dependency_to_json,
+    instance_from_json,
+    instance_to_json,
+    mapping_from_json,
+    mapping_to_json,
+    schema_from_json,
+    schema_to_json,
+)
+
+__all__ = [
+    "SerializationError",
+    "SqlExportError",
+    "cq_to_select",
+    "dependency_from_json",
+    "dependency_to_json",
+    "instance_from_json",
+    "instance_to_json",
+    "instance_to_inserts",
+    "mapping_from_json",
+    "mapping_to_json",
+    "mapping_to_sql",
+    "schema_from_json",
+    "schema_to_json",
+    "schema_to_ddl",
+    "tgd_to_insert_select",
+]

@@ -1,0 +1,195 @@
+"""Rendering schemas, instances, mappings, and queries as SQL.
+
+The translations follow the textbook correspondences:
+
+* a schema relation R/k becomes ``CREATE TABLE r (c1, …, ck)``;
+* a ground instance becomes INSERT statements (labeled nulls render
+  as SQL NULL — lossy, flagged unless ``allow_nulls``);
+* a *full* tgd whose conclusion atoms repeat no variable position
+  within an atom beyond what equality predicates can express becomes
+  one ``INSERT INTO … SELECT DISTINCT …`` per conclusion atom, with
+  the premise compiled to a join (shared variables become equality
+  predicates, ``Constant(x)`` is a no-op over SQL tables, and
+  inequalities become ``<>`` predicates);
+* a conjunctive query becomes a ``SELECT DISTINCT`` over the same
+  join compilation.
+
+Existential conclusions have no direct SQL equivalent (they need
+labeled nulls / skolems), so :func:`tgd_to_insert_select` refuses
+non-full dependencies rather than silently changing semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datamodel.atoms import Atom
+from repro.datamodel.instances import Instance
+from repro.datamodel.schemas import Schema
+from repro.datamodel.terms import Constant, Null, Term, Variable
+from repro.dependencies.dependency import Dependency, Premise
+from repro.dataexchange.queries import ConjunctiveQuery
+from repro.core.mapping import SchemaMapping
+
+
+class SqlExportError(ValueError):
+    """Raised when an object has no faithful SQL rendering."""
+
+
+def _identifier(name: str) -> str:
+    """A conservative SQL identifier: lowercase, quoted if needed."""
+    lowered = name.lower()
+    if lowered.isidentifier():
+        return lowered
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def _column(index: int) -> str:
+    return f"c{index + 1}"
+
+
+def _literal(term: Term, *, allow_nulls: bool) -> str:
+    if isinstance(term, Constant):
+        if isinstance(term.value, int):
+            return str(term.value)
+        escaped = str(term.value).replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(term, Null):
+        if not allow_nulls:
+            raise SqlExportError(
+                f"labeled null {term} has no faithful SQL literal; pass "
+                "allow_nulls=True to render it as NULL (lossy)"
+            )
+        return "NULL"
+    raise SqlExportError(f"variable {term} cannot appear in a SQL literal")
+
+
+def schema_to_ddl(schema: Schema, *, text_type: str = "TEXT") -> str:
+    """CREATE TABLE statements for every relation of *schema*."""
+    statements: List[str] = []
+    for relation, arity in schema.relations:
+        columns = ", ".join(f"{_column(i)} {text_type}" for i in range(arity))
+        statements.append(
+            f"CREATE TABLE {_identifier(relation)} ({columns});"
+        )
+    return "\n".join(statements)
+
+
+def instance_to_inserts(instance: Instance, *, allow_nulls: bool = False) -> str:
+    """INSERT statements materializing *instance*, in sorted order."""
+    statements: List[str] = []
+    for fact in instance.sorted_facts():
+        values = ", ".join(
+            _literal(arg, allow_nulls=allow_nulls) for arg in fact.args
+        )
+        statements.append(
+            f"INSERT INTO {_identifier(fact.relation)} VALUES ({values});"
+        )
+    return "\n".join(statements)
+
+
+def _compile_premise(
+    atoms: Sequence[Atom],
+    inequalities,
+) -> Tuple[List[str], Dict[Variable, str], List[str]]:
+    """FROM aliases, a variable -> column binding, and WHERE predicates."""
+    from_clauses: List[str] = []
+    binding: Dict[Variable, str] = {}
+    predicates: List[str] = []
+    for index, atom in enumerate(atoms):
+        alias = f"t{index}"
+        from_clauses.append(f"{_identifier(atom.relation)} AS {alias}")
+        for position, arg in enumerate(atom.args):
+            column = f"{alias}.{_column(position)}"
+            if isinstance(arg, Variable):
+                if arg in binding:
+                    predicates.append(f"{binding[arg]} = {column}")
+                else:
+                    binding[arg] = column
+            elif isinstance(arg, Constant):
+                predicates.append(
+                    f"{column} = {_literal(arg, allow_nulls=False)}"
+                )
+            else:
+                raise SqlExportError(
+                    f"premise atom {atom} contains a labeled null"
+                )
+    for left, right in sorted(inequalities):
+        if left not in binding or right not in binding:
+            raise SqlExportError(
+                f"inequality {left} != {right} over unbound variables"
+            )
+        predicates.append(f"{binding[left]} <> {binding[right]}")
+    return from_clauses, binding, predicates
+
+
+def tgd_to_insert_select(dependency: Dependency) -> str:
+    """One INSERT…SELECT per conclusion atom of a full tgd.
+
+    ``Constant(x)`` premises are dropped (every SQL value is a
+    constant); inequalities compile to ``<>``.  Refuses disjunctive or
+    existential conclusions, which SQL cannot express faithfully.
+    """
+    if not dependency.is_disjunction_free():
+        raise SqlExportError("disjunctive conclusions have no SQL rendering")
+    if not dependency.is_full():
+        raise SqlExportError(
+            "existential conclusions need labeled nulls; SQL INSERT…SELECT "
+            "only renders full tgds"
+        )
+    from_clauses, binding, predicates = _compile_premise(
+        dependency.premise.atoms, dependency.premise.inequalities
+    )
+    statements: List[str] = []
+    for atom in dependency.disjuncts[0]:
+        columns: List[str] = []
+        for arg in atom.args:
+            if isinstance(arg, Variable):
+                columns.append(binding[arg])
+            elif isinstance(arg, Constant):
+                columns.append(_literal(arg, allow_nulls=False))
+            else:
+                raise SqlExportError(
+                    f"conclusion atom {atom} contains a labeled null"
+                )
+        select = f"SELECT DISTINCT {', '.join(columns)} FROM " + ", ".join(
+            from_clauses
+        )
+        if predicates:
+            select += " WHERE " + " AND ".join(predicates)
+        statements.append(
+            f"INSERT INTO {_identifier(atom.relation)} {select};"
+        )
+    return "\n".join(statements)
+
+
+def mapping_to_sql(mapping: SchemaMapping) -> str:
+    """DDL for both schemas plus INSERT…SELECT per dependency.
+
+    Only defined for full, disjunction-free mappings (GAV-style ETL);
+    raises :class:`SqlExportError` otherwise.
+    """
+    parts = [
+        "-- source schema",
+        schema_to_ddl(mapping.source),
+        "-- target schema",
+        schema_to_ddl(mapping.target),
+        "-- mapping",
+    ]
+    for dependency in mapping.dependencies:
+        parts.append(tgd_to_insert_select(dependency))
+    return "\n".join(parts)
+
+
+def cq_to_select(query: ConjunctiveQuery) -> str:
+    """A SELECT DISTINCT statement computing *query*."""
+    from_clauses, binding, predicates = _compile_premise(query.atoms, ())
+    if query.head:
+        columns = ", ".join(binding[variable] for variable in query.head)
+    else:
+        columns = "1"
+    select = f"SELECT DISTINCT {columns} FROM " + ", ".join(from_clauses)
+    if predicates:
+        select += " WHERE " + " AND ".join(predicates)
+    return select + ";"

@@ -1,0 +1,19 @@
+"""Seeded synthetic workloads: random mappings, random ground
+instances, and bounded instance universes for the framework checkers."""
+
+from repro.workloads.random_workloads import (
+    random_full_mapping,
+    random_ground_instance,
+    random_invertible_mapping,
+    random_lav_mapping,
+)
+from repro.workloads.universes import instance_universe, power_instances
+
+__all__ = [
+    "instance_universe",
+    "power_instances",
+    "random_full_mapping",
+    "random_ground_instance",
+    "random_invertible_mapping",
+    "random_lav_mapping",
+]

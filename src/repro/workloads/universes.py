@@ -1,0 +1,87 @@
+"""Bounded universes of ground instances.
+
+The framework checkers (subset property, unique solutions,
+(∼1,∼2)-inverse definitions) quantify over all ground instances; the
+bounded substitutes quantify over the universes generated here — all
+ground instances over a given schema, constant domain, and fact
+budget.  Sizes explode quickly (the number of possible facts is
+sum_R |domain|^arity(R) and universes are subsets thereof), so the
+helpers enforce explicit caps.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from repro.datamodel.atoms import Atom
+from repro.datamodel.instances import Instance
+from repro.datamodel.schemas import Schema
+from repro.datamodel.terms import Constant
+
+
+class UniverseTooLarge(ValueError):
+    """Raised when a requested universe exceeds its cap."""
+
+
+def all_possible_facts(
+    schema: Schema, domain: Sequence[Union[str, int, Constant]]
+) -> Tuple[Atom, ...]:
+    """Every ground fact over *schema* with values from *domain*."""
+    constants = tuple(
+        value if isinstance(value, Constant) else Constant(value)
+        for value in domain
+    )
+    facts: List[Atom] = []
+    for relation, arity in schema.relations:
+        for args in product(constants, repeat=arity):
+            facts.append(Atom(relation, args))
+    return tuple(sorted(facts))
+
+
+def power_instances(
+    schema: Schema,
+    domain: Sequence[Union[str, int, Constant]],
+    *,
+    max_facts: int,
+    include_empty: bool = True,
+    cap: int = 200_000,
+) -> Iterator[Instance]:
+    """All ground instances with at most *max_facts* facts, lazily.
+
+    Instances are yielded in a deterministic order: by fact count,
+    then lexicographically.  Raises :class:`UniverseTooLarge` when the
+    enumeration would exceed *cap* instances.
+    """
+    facts = all_possible_facts(schema, domain)
+    emitted = 0
+    sizes = range(0 if include_empty else 1, max_facts + 1)
+    for size in sizes:
+        for chosen in combinations(facts, size):
+            emitted += 1
+            if emitted > cap:
+                raise UniverseTooLarge(
+                    f"universe over {schema} with |domain|={len(domain)} and "
+                    f"max_facts={max_facts} exceeds cap={cap}"
+                )
+            yield Instance.of(chosen)
+
+
+def instance_universe(
+    schema: Schema,
+    domain: Sequence[Union[str, int, Constant]],
+    *,
+    max_facts: int,
+    include_empty: bool = True,
+    cap: int = 200_000,
+) -> Tuple[Instance, ...]:
+    """The materialized universe (see :func:`power_instances`)."""
+    return tuple(
+        power_instances(
+            schema,
+            domain,
+            max_facts=max_facts,
+            include_empty=include_empty,
+            cap=cap,
+        )
+    )

@@ -1,0 +1,73 @@
+"""Unit tests for chase provenance."""
+
+import pytest
+
+from repro.analysis.provenance import (
+    derivation_depths,
+    explain_chase,
+    fact_provenance,
+)
+from repro.chase.standard import chase
+from repro.datamodel.atoms import atom
+from repro.datamodel.instances import Instance
+from repro.dependencies.parser import parse_dependencies
+
+
+class TestFactProvenance:
+    def test_input_fact(self):
+        deps = parse_dependencies("P(x) -> Q(x)")
+        result = chase(Instance.build({"P": [("a",)]}), deps)
+        provenance = fact_provenance(result, atom("P", "a"))
+        assert provenance.is_input_fact()
+        assert "(input fact)" in provenance.describe()
+
+    def test_produced_fact_names_its_premises(self):
+        deps = parse_dependencies("E(x, z) & E(z, y) -> F(x, y)")
+        source = Instance.build({"E": [("a", "b"), ("b", "c")]})
+        result = chase(source, deps)
+        provenance = fact_provenance(result, atom("F", "a", "c"))
+        assert not provenance.is_input_fact()
+        assert set(provenance.premise_facts()) == {
+            atom("E", "a", "b"),
+            atom("E", "b", "c"),
+        }
+
+    def test_unknown_fact_raises(self):
+        deps = parse_dependencies("P(x) -> Q(x)")
+        result = chase(Instance.build({"P": [("a",)]}), deps)
+        with pytest.raises(KeyError):
+            fact_provenance(result, atom("Q", "zzz"))
+
+
+class TestExplainChase:
+    def test_one_line_per_produced_fact(self):
+        deps = parse_dependencies("P(x, y, z) -> Q(x, y) & R(y, z)")
+        result = chase(Instance.build({"P": [("a", "b", "c")]}), deps)
+        explanation = explain_chase(result)
+        assert explanation.count("from") == 2
+        assert "P(a, b, c)" in explanation
+
+    def test_include_input_facts(self):
+        deps = parse_dependencies("P(x) -> Q(x)")
+        result = chase(Instance.build({"P": [("a",)]}), deps)
+        explanation = explain_chase(result, produced_only=False)
+        assert "(input fact)" in explanation
+
+
+class TestDepths:
+    def test_stratified_chase_has_depth_one(self):
+        deps = parse_dependencies("P(x) -> Q(x)")
+        result = chase(Instance.build({"P": [("a",)]}), deps)
+        depths = derivation_depths(result)
+        assert depths[atom("P", "a")] == 0
+        assert depths[atom("Q", "a")] == 1
+
+    def test_recursive_chase_depth_grows(self):
+        deps = parse_dependencies(
+            "E(x, y) -> T(x, y)\nT(x, z) & E(z, y) -> T(x, y)"
+        )
+        source = Instance.build({"E": [("a", "b"), ("b", "c"), ("c", "d")]})
+        result = chase(source, deps, max_steps=100)
+        depths = derivation_depths(result)
+        assert depths[atom("T", "a", "b")] == 1
+        assert depths[atom("T", "a", "d")] >= 2

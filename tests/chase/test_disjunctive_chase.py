@@ -1,0 +1,98 @@
+"""Unit tests for the disjunctive chase (Definitions 6.3 / 6.4)."""
+
+import pytest
+
+from repro.chase.disjunctive import disjunctive_chase
+from repro.chase.standard import ChaseError
+from repro.datamodel.atoms import atom
+from repro.datamodel.instances import Instance
+from repro.datamodel.terms import Null
+from repro.dependencies.parser import parse_dependencies, parse_dependency
+
+
+class TestBranching:
+    def test_union_example_branches_per_disjunct(self):
+        deps = (parse_dependency("S(x) -> P(x) | Q(x)"),)
+        tree = disjunctive_chase(Instance.build({"S": [("a",)]}), deps)
+        leaves = tree.leaves()
+        assert len(leaves) == 2
+        assert {leaf.restrict_to(["P", "Q"]) for leaf in leaves} == {
+            Instance.build({"P": [("a",)]}),
+            Instance.build({"Q": [("a",)]}),
+        }
+
+    def test_branching_is_exponential_in_matches(self):
+        deps = (parse_dependency("S(x) -> P(x) | Q(x)"),)
+        source = Instance.build({"S": [("a",), ("b",), ("c",)]})
+        tree = disjunctive_chase(source, deps)
+        assert len(tree.leaves()) == 8
+        assert tree.depth() == 3
+
+    def test_non_disjunctive_dependency_gives_single_leaf(self):
+        deps = parse_dependencies("Q(x, y) & R(y, z) -> P(x, y, z)")
+        source = Instance.build({"Q": [("a", "b")], "R": [("b", "c")]})
+        tree = disjunctive_chase(source, deps)
+        assert len(tree.leaves()) == 1
+        assert atom("P", "a", "b", "c") in tree.leaves()[0]
+
+
+class TestApplicability:
+    def test_satisfied_disjunct_blocks_application(self):
+        # Definition 6.3: sigma applies only when NO disjunct extends.
+        deps = (parse_dependency("S(x) -> P(x) | Q(x)"),)
+        source = Instance.build({"S": [("a",)], "Q": [("a",)]})
+        tree = disjunctive_chase(source, deps)
+        assert len(tree.leaves()) == 1
+        assert tree.leaves()[0] == source
+
+    def test_existentials_get_fresh_nulls_per_branch(self):
+        deps = (parse_dependency("S(x) -> P(x, y) | Q(x, y)"),)
+        tree = disjunctive_chase(Instance.build({"S": [("a",)]}), deps)
+        for leaf in tree.leaves():
+            new_facts = leaf.difference(Instance.build({"S": [("a",)]}))
+            for fact in new_facts:
+                assert isinstance(fact.args[1], Null)
+
+    def test_constant_guard_respected(self):
+        deps = (parse_dependency("S(x) & Constant(x) -> P(x) | Q(x)"),)
+        source = Instance.of([atom("S", Null("n"))])
+        tree = disjunctive_chase(source, deps)
+        assert len(tree.leaves()) == 1  # nothing applies
+
+    def test_inequality_guard_respected(self):
+        deps = (parse_dependency("S(x, y) & x != y -> P(x) | Q(x)"),)
+        diagonal = Instance.build({"S": [("a", "a")]})
+        assert len(disjunctive_chase(diagonal, deps).leaves()) == 1
+        off_diagonal = Instance.build({"S": [("a", "b")]})
+        assert len(disjunctive_chase(off_diagonal, deps).leaves()) == 2
+
+
+class TestTreeStructure:
+    def test_node_count_and_applied_metadata(self):
+        deps = (parse_dependency("S(x) -> P(x) | Q(x)"),)
+        tree = disjunctive_chase(Instance.build({"S": [("a",)]}), deps)
+        assert tree.node_count == 3
+        assert tree.root.applied == deps[0]
+        assert tree.root.match is not None
+
+    def test_distinct_leaves_deduplicates(self):
+        deps = (parse_dependency("S(x) -> P(x) | P(x)"),)
+        tree = disjunctive_chase(Instance.build({"S": [("a",)]}), deps)
+        assert len(tree.leaves()) == 2
+        assert len(tree.distinct_leaves()) == 1
+
+    def test_max_nodes_guard(self):
+        deps = (parse_dependency("S(x) -> P(x) | Q(x)"),)
+        source = Instance.build({"S": [(str(i),) for i in range(20)]})
+        with pytest.raises(ChaseError):
+            disjunctive_chase(source, deps, max_nodes=100)
+
+    def test_determinism(self):
+        deps = (
+            parse_dependency("S(x) -> P(x) | Q(x)"),
+            parse_dependency("T(x) -> P(x) | R(x)"),
+        )
+        source = Instance.build({"S": [("a",)], "T": [("b",)]})
+        first = disjunctive_chase(source, deps).leaves()
+        second = disjunctive_chase(source, deps).leaves()
+        assert first == second

@@ -1,0 +1,79 @@
+"""Unit tests for the oblivious chase variant and core solutions."""
+
+import pytest
+
+from repro.catalog import decomposition
+from repro.chase.homomorphism import is_homomorphically_equivalent
+from repro.chase.standard import ChaseError, chase
+from repro.core.mapping import core_universal_solution, universal_solution
+from repro.datamodel.instances import Instance
+from repro.dependencies.parser import parse_dependencies, parse_dependency
+
+
+class TestObliviousChase:
+    def test_fires_on_every_match(self):
+        deps = parse_dependencies("R(x, y) -> Q(x, y)\nP(x) -> Q(x, y)")
+        source = Instance.build({"P": [("a",)], "R": [("a", "b")]})
+        restricted = chase(source, deps)
+        oblivious = chase(source, deps, oblivious=True)
+        assert len(oblivious.produced) > len(restricted.produced)
+
+    def test_result_is_homomorphically_equivalent_to_restricted(self):
+        deps = parse_dependencies(
+            "P(x, y, z) -> Q(x, y) & R(y, z)\nP(x, y, z) -> Q(x, z)"
+        )
+        source = Instance.build({"P": [("a", "b", "c"), ("a", "b", "d")]})
+        restricted = chase(source, deps).instance
+        oblivious = chase(source, deps, oblivious=True).instance
+        assert is_homomorphically_equivalent(restricted, oblivious)
+
+    def test_deterministic(self):
+        deps = parse_dependencies("P(x) -> Q(x, y)")
+        source = Instance.build({"P": [("a",), ("b",)]})
+        assert (
+            chase(source, deps, oblivious=True).instance
+            == chase(source, deps, oblivious=True).instance
+        )
+
+    def test_rejects_recursive_dependency_sets(self):
+        deps = parse_dependencies("E(x, y) -> T(x, y)\nT(x, z) & E(z, y) -> T(x, y)")
+        with pytest.raises(ChaseError):
+            chase(Instance.build({"E": [("a", "b")]}), deps, oblivious=True)
+
+    def test_rejects_constraint_premises(self):
+        deps = (parse_dependency("Q(x) & Constant(x) -> P(x)"),)
+        with pytest.raises(ChaseError):
+            chase(Instance.build({"Q": [("a",)]}), deps, oblivious=True)
+
+
+class TestCoreSolutions:
+    def test_core_is_no_larger(self):
+        mapping = decomposition()
+        source = Instance.build({"P": [("a", "b", "c")]})
+        full = universal_solution(mapping, source)
+        reduced = core_universal_solution(mapping, source)
+        assert len(reduced) <= len(full)
+        assert is_homomorphically_equivalent(reduced, full)
+
+    def test_core_collapses_redundant_nulls(self):
+        from repro.core.mapping import SchemaMapping
+        from repro.datamodel.schemas import Schema
+
+        mapping = SchemaMapping.from_text(
+            Schema.of({"A": 1, "B": 2}),
+            Schema.of({"C": 2}),
+            "A(x) -> C(x, y)\nB(x, y) -> C(x, y)",
+        )
+        # A(a) yields C(a, null), dominated by B's ground C(a, b).
+        source = Instance.build({"A": [("a",)], "B": [("a", "b")]})
+        reduced = core_universal_solution(mapping, source)
+        assert reduced.is_ground()
+
+    def test_equivalent_sources_share_core_size(self):
+        from repro.catalog import example_3_10_witnesses
+
+        mapping = decomposition()
+        left, right = example_3_10_witnesses()
+        assert len(core_universal_solution(mapping, left)) == len(
+            core_universal_solution(mapping, right)
+        )

@@ -1,0 +1,147 @@
+"""Unit tests for the standard (restricted) chase."""
+
+import pytest
+
+from repro.chase.homomorphism import instance_homomorphism
+from repro.chase.standard import ChaseError, NullFactory, chase
+from repro.datamodel.atoms import atom
+from repro.datamodel.instances import Instance
+from repro.datamodel.terms import Null, Variable
+from repro.dependencies.parser import parse_dependencies, parse_dependency
+
+
+class TestBasicChasing:
+    def test_full_tgd_materializes_conclusions(self):
+        deps = parse_dependencies("P(x, y) -> Q(x)")
+        result = chase(Instance.build({"P": [("a", "b")]}), deps)
+        assert atom("Q", "a") in result.instance
+        assert result.produced == Instance.build({"Q": [("a",)]})
+
+    def test_existentials_invent_fresh_nulls(self):
+        deps = parse_dependencies("P(x) -> Q(x, y)")
+        result = chase(Instance.build({"P": [("a",), ("b",)]}), deps)
+        q_facts = result.instance.facts_for("Q")
+        nulls = {fact.args[1] for fact in q_facts}
+        assert len(q_facts) == 2
+        assert all(isinstance(n, Null) for n in nulls)
+        assert len(nulls) == 2  # distinct nulls per firing
+
+    def test_restricted_chase_skips_satisfied_premises(self):
+        # Figure 1's shape: the decomposition produces exactly 4 facts.
+        deps = parse_dependencies("P(x, y, z) -> Q(x, y) & R(y, z)")
+        source = Instance.build({"P": [("a", "b", "c"), ("a'", "b", "c'")]})
+        result = chase(source, deps)
+        assert len(result.produced) == 4
+
+    def test_restricted_chase_reuses_existing_witnesses(self):
+        deps = parse_dependencies("R(x, y) -> Q(x, y)\nP(x) -> Q(x, y)")
+        source = Instance.build({"P": [("a",)], "R": [("a", "b")]})
+        result = chase(source, deps)
+        # Q(a, b) (from the R-rule, fired first) satisfies the P-rule's
+        # conclusion: no null is invented for it.
+        assert result.instance.facts_for("Q") == (atom("Q", "a", "b"),)
+
+    def test_multiple_premise_atoms_join(self):
+        deps = parse_dependencies("E(x, z) & E(z, y) -> F(x, y)")
+        source = Instance.build({"E": [("a", "b"), ("b", "c")]})
+        result = chase(source, deps)
+        assert result.produced == Instance.build({"F": [("a", "c")]})
+
+    def test_chase_of_canonical_instance_with_variables(self):
+        # Prime-instance chasing (Section 5): variables act as values.
+        deps = parse_dependencies("R(x1, x2) -> S(x1, x2, y)")
+        canonical = Instance.of([atom("R", Variable("x1"), Variable("x2"))])
+        result = chase(canonical, deps)
+        produced = result.produced.facts_for("S")
+        assert len(produced) == 1
+        assert produced[0].args[0] == Variable("x1")
+
+    def test_empty_instance_chases_to_itself(self):
+        deps = parse_dependencies("P(x) -> Q(x)")
+        result = chase(Instance.empty(), deps)
+        assert result.instance == Instance.empty()
+        assert result.steps == ()
+
+
+class TestConstraintsInPremises:
+    def test_constant_guard_blocks_nulls(self):
+        deps = (parse_dependency("Q(x) & Constant(x) -> P(x)"),)
+        mixed = Instance.of([atom("Q", "a"), atom("Q", Null("n"))])
+        result = chase(mixed, deps)
+        assert result.produced == Instance.build({"P": [("a",)]})
+
+    def test_inequality_guard(self):
+        deps = (parse_dependency("Q(x, y) & x != y -> P(x, y)"),)
+        source = Instance.build({"Q": [("a", "a"), ("a", "b")]})
+        result = chase(source, deps)
+        assert result.produced == Instance.build({"P": [("a", "b")]})
+
+
+class TestEngineMechanics:
+    def test_disjunctive_dependency_rejected(self):
+        deps = (parse_dependency("P(x) -> Q(x) | R(x)"),)
+        with pytest.raises(ChaseError):
+            chase(Instance.build({"P": [("a",)]}), deps)
+
+    def test_step_trace_records_firings(self):
+        deps = parse_dependencies("P(x) -> Q(x)")
+        result = chase(Instance.build({"P": [("a",), ("b",)]}), deps)
+        assert len(result.steps) == 2
+        assert all(step.dependency == deps[0] for step in result.steps)
+
+    def test_determinism(self):
+        deps = parse_dependencies("P(x) -> Q(x, y)\nP(x) -> R(x)")
+        source = Instance.build({"P": [("a",), ("b",), ("c",)]})
+        assert chase(source, deps).instance == chase(source, deps).instance
+
+    def test_fresh_nulls_avoid_existing_names(self):
+        deps = parse_dependencies("P(x) -> Q(x, y)")
+        taken = Instance.of([atom("P", "a"), atom("R", Null("y_N0"))])
+        result = chase(taken.restrict_to(["P"]).union([atom("R", Null("y_N0"))]), deps)
+        q_fact = result.instance.facts_for("Q")[0]
+        assert q_fact.args[1] != Null("y_N0")
+
+    def test_recursive_dependencies_reach_fixpoint(self):
+        # Transitive closure over target-side recursion (full tgds).
+        deps = parse_dependencies("E(x, y) -> T(x, y)\nT(x, z) & E(z, y) -> T(x, y)")
+        # Premise relations overlap conclusion relations: general path.
+        source = Instance.build({"E": [("a", "b"), ("b", "c"), ("c", "d")]})
+        result = chase(source, deps, max_steps=100)
+        assert atom("T", "a", "d") in result.instance
+
+    def test_max_steps_guard(self):
+        # A non-terminating chase: each firing creates a new premise.
+        deps = parse_dependencies("P(x) -> P2(x, y)\nP2(x, y) -> P(y)")
+        with pytest.raises(ChaseError):
+            chase(Instance.build({"P": [("a",)]}), deps, max_steps=50)
+
+    def test_null_factory_reservation(self):
+        factory = NullFactory(taken=["N0"])
+        assert factory.fresh().name != "N0"
+
+    def test_null_factory_hints(self):
+        factory = NullFactory()
+        fresh = factory.fresh(hint="y")
+        assert fresh.name.startswith("y_")
+
+
+class TestUniversality:
+    def test_chase_result_maps_into_every_solution(self):
+        deps = parse_dependencies("P(x, y, z) -> Q(x, y) & R(y, z)")
+        source = Instance.build({"P": [("a", "b", "c")]})
+        universal = chase(source, deps).produced
+        solutions = [
+            Instance.build({"Q": [("a", "b")], "R": [("b", "c")]}),
+            Instance.build(
+                {"Q": [("a", "b"), ("x", "y")], "R": [("b", "c"), ("y", "z")]}
+            ),
+        ]
+        for solution in solutions:
+            assert instance_homomorphism(universal, solution) is not None
+
+    def test_chase_result_does_not_map_into_non_solutions(self):
+        deps = parse_dependencies("P(x, y, z) -> Q(x, y) & R(y, z)")
+        source = Instance.build({"P": [("a", "b", "c")]})
+        universal = chase(source, deps).produced
+        non_solution = Instance.build({"Q": [("a", "b")]})
+        assert instance_homomorphism(universal, non_solution) is None

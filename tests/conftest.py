@@ -1,0 +1,81 @@
+"""Shared fixtures: the paper's catalog mappings and small universes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import (
+    decomposition,
+    example_4_5,
+    example_5_4,
+    figure_1_instance,
+    projection,
+    prop_3_12,
+    thm_4_8,
+    thm_4_9,
+    thm_4_10,
+    thm_4_11,
+    union_mapping,
+)
+from repro.workloads import instance_universe
+
+
+@pytest.fixture(scope="session")
+def projection_mapping():
+    return projection()
+
+
+@pytest.fixture(scope="session")
+def union_m():
+    return union_mapping()
+
+
+@pytest.fixture(scope="session")
+def decomposition_mapping():
+    return decomposition()
+
+
+@pytest.fixture(scope="session")
+def example_4_5_mapping():
+    return example_4_5()
+
+
+@pytest.fixture(scope="session")
+def example_5_4_mapping():
+    return example_5_4()
+
+
+@pytest.fixture(scope="session")
+def prop_3_12_mapping():
+    return prop_3_12()
+
+
+@pytest.fixture(scope="session")
+def thm_4_8_mapping():
+    return thm_4_8()
+
+
+@pytest.fixture(scope="session")
+def thm_4_9_mapping():
+    return thm_4_9()
+
+
+@pytest.fixture(scope="session")
+def thm_4_10_mapping():
+    return thm_4_10()
+
+
+@pytest.fixture(scope="session")
+def thm_4_11_mapping():
+    return thm_4_11()
+
+
+@pytest.fixture(scope="session")
+def figure_1():
+    return figure_1_instance()
+
+
+@pytest.fixture(scope="session")
+def tiny_universe():
+    """All ground instances over the decomposition source with ≤1 fact."""
+    return instance_universe(decomposition().source, ["a", "b"], max_facts=1)

@@ -1,0 +1,144 @@
+"""Unit tests for composition membership and full-tgd composition."""
+
+import pytest
+
+from repro.catalog import (
+    decomposition,
+    decomposition_quasi_inverse_join,
+    example_5_4,
+    projection,
+    thm_4_9,
+    union_mapping,
+)
+from repro.core.composition import (
+    CompositionBudgetError,
+    compose_full,
+    composition_membership,
+)
+from repro.core.inverse import inverse
+from repro.core.mapping import MappingError, SchemaMapping, is_solution, universal_solution
+from repro.datamodel.instances import Instance
+from repro.datamodel.schemas import Schema
+from repro.workloads import instance_universe
+
+
+class TestMembership:
+    def test_identity_like_pair_accepted(self):
+        mapping = decomposition()
+        reverse = decomposition_quasi_inverse_join()
+        source = Instance.build({"P": [("a", "b", "c")]})
+        assert composition_membership(mapping, reverse, source, source)
+
+    def test_superset_pairs_accepted(self):
+        mapping = decomposition()
+        reverse = decomposition_quasi_inverse_join()
+        source = Instance.build({"P": [("a", "b", "c")]})
+        bigger = source.union(Instance.build({"P": [("d", "e", "f")]}))
+        assert composition_membership(mapping, reverse, source, bigger)
+
+    def test_unreachable_pair_rejected(self):
+        mapping = decomposition()
+        reverse = decomposition_quasi_inverse_join()
+        source = Instance.build({"P": [("a", "b", "c")]})
+        other = Instance.build({"P": [("x", "y", "z")]})
+        assert not composition_membership(mapping, reverse, source, other)
+
+    def test_null_images_matter(self):
+        # Projection with its quasi-inverse: the chase null must be
+        # mappable to a constant for the reverse tgd to produce a
+        # ground witness; membership explores those images.
+        mapping = projection()
+        reverse = SchemaMapping.from_text(
+            mapping.target,
+            mapping.source,
+            "Q(x) & Constant(x) -> P(x, y)",
+        )
+        source = Instance.build({"P": [("a", "b")]})
+        recovered = Instance.build({"P": [("a", "c")]})
+        assert composition_membership(mapping, reverse, source, recovered)
+
+    def test_budget_guard(self):
+        from repro.catalog import thm_4_8, thm_4_8_inverse
+
+        mapping = thm_4_8()  # each P-fact chases to a fresh null
+        source = Instance.build(
+            {"P": [(str(i), str(i + 1)) for i in range(10)]}
+        )
+        with pytest.raises(CompositionBudgetError):
+            composition_membership(
+                mapping, thm_4_8_inverse(), source, source, max_nulls=2
+            )
+
+    def test_empty_left_composes_with_everything_under_vacuous_reverse(self):
+        mapping = union_mapping()
+        reverse = SchemaMapping.from_text(
+            mapping.target, mapping.source, "S(x) -> P(x)"
+        )
+        empty = Instance.empty()
+        assert composition_membership(mapping, reverse, empty, empty)
+
+
+class TestComposeFull:
+    def test_requires_full_first_mapping(self):
+        non_full = projection()  # full, so build a non-full one
+        existential = SchemaMapping.from_text(
+            Schema.of({"A": 1}), Schema.of({"B": 2}), "A(x) -> B(x, y)"
+        )
+        second = SchemaMapping.from_text(
+            Schema.of({"B": 2}), Schema.of({"C": 1}), "B(x, y) -> C(x)"
+        )
+        with pytest.raises(MappingError):
+            compose_full(existential, second)
+        assert non_full.is_full()
+
+    def test_requires_matching_middle_schema(self):
+        first = projection()
+        second = SchemaMapping.from_text(
+            Schema.of({"X": 1}), Schema.of({"Y": 1}), "X(x) -> Y(x)"
+        )
+        with pytest.raises(MappingError):
+            compose_full(first, second)
+
+    def test_projection_then_copy(self):
+        first = projection()  # P(x, y) -> Q(x)
+        second = SchemaMapping.from_text(
+            Schema.of({"Q": 1}), Schema.of({"T": 1}), "Q(x) -> T(x)"
+        )
+        composed = compose_full(first, second)
+        source = Instance.build({"P": [("a", "b")]})
+        assert universal_solution(composed, source) == Instance.build(
+            {"T": [("a",)]}
+        )
+
+    def test_decomposition_then_join(self):
+        first = decomposition()
+        second = SchemaMapping.from_text(
+            first.target,
+            Schema.of({"W": 3}),
+            "Q(x, y) & R(y, z) -> W(x, y, z)",
+        )
+        composed = compose_full(first, second)
+        source = Instance.build({"P": [("a", "b", "c"), ("d", "b", "e")]})
+        result = universal_solution(composed, source)
+        # The composed mapping reproduces the join of the chase:
+        # the cross product over the shared middle column.
+        expected = universal_solution(
+            second, universal_solution(first, source)
+        )
+        assert result == expected
+
+    def test_agrees_with_membership_semantics(self):
+        first = thm_4_9()
+        second = SchemaMapping.from_text(
+            first.target,
+            Schema.of({"Out": 1}),
+            "P2(x, x) -> Out(x)\nQ(x) -> Out(x)",
+        )
+        composed = compose_full(first, second)
+        universe_left = instance_universe(first.source, ["a"], max_facts=2)
+        universe_right = instance_universe(second.target, ["a"], max_facts=1)
+        for left in universe_left:
+            for right in universe_right:
+                direct = is_solution(composed, left, right)
+                via_membership = composition_membership(first, second, left, right)
+                assert direct == via_membership

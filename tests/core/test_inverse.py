@@ -1,0 +1,163 @@
+"""Unit tests for the Inverse algorithm (Section 5)."""
+
+import pytest
+
+from repro.catalog import (
+    decomposition,
+    example_5_4,
+    example_5_4_expected_inverse,
+    projection,
+    thm_4_8,
+    thm_4_9,
+)
+from repro.core.inverse import (
+    InverseError,
+    constant_propagation_report,
+    has_constant_propagation,
+    inverse,
+    omega,
+    prime_atoms,
+    restricted_growth_strings,
+)
+from repro.core.mapping import MappingError, SchemaMapping
+from repro.datamodel.atoms import Atom
+from repro.datamodel.schemas import Schema
+from repro.datamodel.terms import Variable
+from repro.dependencies.dependency import language_audit
+from repro.dependencies.parser import parse_dependency
+
+BELL = {1: 1, 2: 2, 3: 5, 4: 15}
+
+
+class TestPrimeAtoms:
+    @pytest.mark.parametrize("arity,count", sorted(BELL.items()))
+    def test_counts_are_bell_numbers(self, arity, count):
+        assert len(prime_atoms("R", arity)) == count
+
+    def test_paper_order_for_ternary(self):
+        rendered = [str(a) for a in prime_atoms("R", 3)]
+        assert rendered == [
+            "R(x1, x1, x1)",
+            "R(x1, x1, x2)",
+            "R(x1, x2, x1)",
+            "R(x1, x2, x2)",
+            "R(x1, x2, x3)",
+        ]
+
+    def test_restricted_growth_strings(self):
+        assert list(restricted_growth_strings(2)) == [(1, 1), (1, 2)]
+        assert list(restricted_growth_strings(0)) == [()]
+
+    def test_prime_atoms_are_prime(self):
+        for prime in prime_atoms("R", 4):
+            seen = []
+            for arg in prime.args:
+                if arg not in seen:
+                    seen.append(arg)
+            assert seen == [Variable(f"x{i + 1}") for i in range(len(seen))]
+
+
+class TestConstantPropagation:
+    def test_example_5_4_propagates(self):
+        assert constant_propagation_report(example_5_4()) == {"R": True}
+
+    def test_projection_does_not(self):
+        assert constant_propagation_report(projection()) == {"P": False}
+
+    def test_per_relation_report(self):
+        mapping = SchemaMapping.from_text(
+            Schema.of({"A": 1, "B": 2}),
+            Schema.of({"C": 1}),
+            "A(x) -> C(x)\nB(x, y) -> C(x)",
+        )
+        assert constant_propagation_report(mapping) == {"A": True, "B": False}
+        assert not has_constant_propagation(mapping)
+
+
+class TestAlgorithm:
+    def test_example_5_4_exact_output(self):
+        computed = inverse(example_5_4())
+        expected = {d.canonical_form() for d in example_5_4_expected_inverse()}
+        assert {d.canonical_form() for d in computed.dependencies} == expected
+
+    def test_halts_without_output_on_non_propagating_input(self):
+        with pytest.raises(InverseError):
+            inverse(projection())
+
+    def test_output_is_full_with_constants_and_inequalities(self):
+        computed = inverse(thm_4_8())
+        features = language_audit(computed.dependencies)
+        assert not features.existentials and not features.disjunctions
+        assert features.constants
+        assert all(
+            d.premise.inequalities_among_constants() for d in computed.dependencies
+        )
+
+    def test_full_input_drops_constants(self):
+        computed = inverse(thm_4_9())
+        assert not language_audit(computed.dependencies).constants
+
+    def test_full_input_keeps_constants_when_asked(self):
+        computed = inverse(thm_4_9(), drop_constants_when_full=False)
+        assert language_audit(computed.dependencies).constants
+
+    def test_direction_reversed(self):
+        mapping = example_5_4()
+        computed = inverse(mapping)
+        assert computed.source == mapping.target
+        assert computed.target == mapping.source
+
+    def test_rejects_non_tgd_mapping(self):
+        reverse = SchemaMapping.from_text(
+            Schema.of({"S": 1}),
+            Schema.of({"P": 1, "Q": 1}),
+            "S(x) -> P(x) | Q(x)",
+        )
+        with pytest.raises(MappingError):
+            inverse(reverse)
+
+
+class TestOmega:
+    def test_omega_of_the_equal_prime(self):
+        alpha = prime_atoms("R", 2)[0]  # R(x1, x1)
+        built = omega(example_5_4(), alpha)
+        expected = parse_dependency(
+            "Q(x1, y1) & S(x1, x1, y2) & U(x1) & Constant(x1) -> R(x1, x1)"
+        )
+        assert built.canonical_form() == expected.canonical_form()
+
+    def test_omega_without_constants(self):
+        alpha = prime_atoms("R", 2)[1]
+        built = omega(example_5_4(), alpha, with_constants=False)
+        assert not built.premise.constant_vars
+        assert built.premise.inequalities
+
+    def test_omega_rejects_lost_variables_without_existentials(self):
+        alpha = Atom("P", (Variable("x1"), Variable("x2")))
+        with pytest.raises(InverseError):
+            omega(projection(), alpha)
+
+    def test_omega_with_existentials_quantifies_lost_variables(self):
+        alpha = Atom("P", (Variable("x1"), Variable("x2")))
+        built = omega(projection(), alpha, allow_existentials=True)
+        assert built.existential_variables(0) == (Variable("x2"),)
+
+    def test_omega_none_on_unproductive_relation(self):
+        mapping = SchemaMapping.from_text(
+            Schema.of({"A": 1, "B": 1}),
+            Schema.of({"C": 1}),
+            "A(x) -> C(x)",
+        )
+        alpha = Atom("B", (Variable("x1"),))
+        assert omega(mapping, alpha, allow_existentials=True) is None
+        with pytest.raises(InverseError):
+            omega(mapping, alpha)
+
+    def test_decomposition_omega_is_the_join_rule(self):
+        alpha = prime_atoms("P", 3)[-1]  # P(x1, x2, x3)
+        built = omega(decomposition(), alpha)
+        expected = parse_dependency(
+            "Q(x1, x2) & R(x2, x3) & Constant(x1) & Constant(x2) & Constant(x3)"
+            " & x1 != x2 & x1 != x3 & x2 != x3 -> P(x1, x2, x3)"
+        )
+        assert built.canonical_form() == expected.canonical_form()

@@ -1,0 +1,162 @@
+"""Unit tests for the QuasiInverse algorithm and the LAV construction."""
+
+import pytest
+
+from repro.catalog import (
+    decomposition,
+    example_4_5,
+    example_4_5_expected_sigma1_prime,
+    example_4_5_expected_sigma2_prime,
+    projection,
+    projection_quasi_inverse,
+    thm_4_10,
+    thm_4_11,
+    union_mapping,
+    union_quasi_inverse,
+)
+from repro.core.mapping import MappingError, SchemaMapping
+from repro.core.quasi_inverse import lav_quasi_inverse, prune_disjuncts, quasi_inverse
+from repro.datamodel.schemas import Schema
+from repro.datamodel.terms import Variable
+from repro.dependencies.dependency import language_audit
+from repro.dependencies.parser import parse_dependency
+
+
+class TestPaperOutputs:
+    def test_union_output_matches_paper(self):
+        computed = quasi_inverse(union_mapping())
+        assert len(computed.dependencies) == 1
+        assert (
+            computed.dependencies[0].canonical_form()
+            == union_quasi_inverse().dependencies[0].canonical_form()
+        )
+
+    def test_projection_output_matches_paper(self):
+        computed = quasi_inverse(projection())
+        assert (
+            computed.dependencies[0].canonical_form()
+            == projection_quasi_inverse().dependencies[0].canonical_form()
+        )
+
+    def test_example_4_5_sigma_primes(self):
+        computed = quasi_inverse(example_4_5())
+        keys = {d.canonical_form() for d in computed.dependencies}
+        assert example_4_5_expected_sigma1_prime().canonical_form() in keys
+        assert example_4_5_expected_sigma2_prime().canonical_form() in keys
+
+
+class TestDirectionAndLanguage:
+    def test_output_direction_is_target_to_source(self):
+        mapping = decomposition()
+        computed = quasi_inverse(mapping)
+        assert computed.source == mapping.target
+        assert computed.target == mapping.source
+
+    def test_inequalities_are_among_constants(self):
+        # Theorem 4.1's refinement: the produced inequalities relate
+        # Constant()-guarded variables only.
+        computed = quasi_inverse(example_4_5())
+        for dependency in computed.dependencies:
+            assert dependency.premise.inequalities_among_constants()
+
+    def test_full_input_drops_constants(self):
+        computed = quasi_inverse(decomposition())
+        assert not language_audit(computed.dependencies).constants
+
+    def test_full_input_keeps_constants_when_asked(self):
+        computed = quasi_inverse(decomposition(), drop_constants_when_full=False)
+        assert language_audit(computed.dependencies).constants
+
+    def test_non_tgd_input_rejected(self):
+        reverse = SchemaMapping.from_text(
+            Schema.of({"S": 1}),
+            Schema.of({"P": 1, "Q": 1}),
+            "S(x) -> P(x) | Q(x)",
+        )
+        with pytest.raises(MappingError):
+            quasi_inverse(reverse)
+
+
+class TestPruning:
+    def test_implied_disjunct_removed(self):
+        x1 = Variable("x1")
+        specific = parse_dependency("T(x1, x1) & R(x1, x1, x4) -> S(x1)").premise.atoms
+        general = parse_dependency("T(x3, x1) & R(x3, x3, x4) -> S(x1)").premise.atoms
+        kept = prune_disjuncts([specific, general], (x1,))
+        assert kept == (general,) or list(kept) == [general]
+
+    def test_equivalent_disjuncts_keep_one(self):
+        x = Variable("x")
+        left = parse_dependency("P(x, z1) -> S(x)").premise.atoms
+        right = parse_dependency("P(x, w) -> S(x)").premise.atoms
+        kept = prune_disjuncts([left, right], (x,))
+        assert len(kept) == 1
+
+    def test_incomparable_disjuncts_both_kept(self):
+        x = Variable("x")
+        left = parse_dependency("P(x) -> S(x)").premise.atoms
+        right = parse_dependency("Q(x) -> S(x)").premise.atoms
+        assert len(prune_disjuncts([left, right], (x,))) == 2
+
+    def test_unpruned_output_is_larger(self):
+        pruned = quasi_inverse(example_4_5())
+        unpruned = quasi_inverse(example_4_5(), prune_implied=False)
+        assert sum(len(d.disjuncts) for d in unpruned.dependencies) > sum(
+            len(d.disjuncts) for d in pruned.dependencies
+        )
+
+
+class TestDisjunctions:
+    def test_thm_4_10_needs_disjunctions(self):
+        computed = quasi_inverse(thm_4_10())
+        assert any(len(d.disjuncts) > 1 for d in computed.dependencies)
+
+    def test_rij_rules_reverse_without_disjunction(self):
+        computed = quasi_inverse(thm_4_10())
+        rij = [
+            d
+            for d in computed.dependencies
+            if d.premise.atoms[0].relation.startswith("R")
+        ]
+        assert rij and all(len(d.disjuncts) == 1 for d in rij)
+
+
+class TestLavConstruction:
+    def test_requires_lav(self):
+        from repro.catalog import prop_3_12
+
+        with pytest.raises(MappingError):
+            lav_quasi_inverse(prop_3_12())
+
+    def test_disjunction_free_with_constants_and_inequalities(self):
+        computed = lav_quasi_inverse(decomposition())
+        features = language_audit(computed.dependencies)
+        assert not features.disjunctions
+        assert features.constants and features.inequalities
+        assert all(
+            d.premise.inequalities_among_constants()
+            for d in computed.dependencies
+        )
+
+    def test_projection_rule_matches_paper(self):
+        computed = lav_quasi_inverse(projection())
+        expected = parse_dependency("Q(x1) & Constant(x1) -> P(x1, x2)")
+        keys = {d.canonical_form() for d in computed.dependencies}
+        assert expected.canonical_form() in keys
+
+    def test_union_gives_conjunctive_variant(self):
+        computed = lav_quasi_inverse(union_mapping())
+        expected = {
+            parse_dependency("S(x1) & Constant(x1) -> P(x1)").canonical_form(),
+            parse_dependency("S(x1) & Constant(x1) -> Q(x1)").canonical_form(),
+        }
+        assert {d.canonical_form() for d in computed.dependencies} == expected
+
+    def test_existentials_for_lost_positions(self):
+        computed = lav_quasi_inverse(thm_4_11())
+        assert language_audit(computed.dependencies).existentials
+
+    def test_one_rule_per_productive_prime_atom(self):
+        computed = lav_quasi_inverse(decomposition())
+        # P/3 has five prime atoms, all productive.
+        assert len(computed.dependencies) == 5

@@ -1,0 +1,74 @@
+"""Tests for the Introduction's robustness claims.
+
+Adding a relation symbol to the source schema destroys inverses but
+not quasi-inverses:
+
+* if M is invertible, M* = (S ∪ {R}, T, Σ) is no longer invertible;
+* every inverse of M is a quasi-inverse of M*;
+* if M' is a quasi-inverse of M, then M'' = (T, S ∪ {R}, Σ') is a
+  quasi-inverse of M*.
+"""
+
+import pytest
+
+from repro.catalog import example_5_4, union_mapping, union_quasi_inverse
+from repro.core.framework import is_inverse, is_quasi_inverse
+from repro.core.inverse import inverse
+from repro.core.mapping import SchemaMapping
+from repro.workloads import instance_universe
+
+
+@pytest.fixture(scope="module")
+def augmented_invertible():
+    mapping = example_5_4()
+    return mapping, mapping.augment_source("Extra", 1)
+
+
+class TestAugmentationBreaksInverses:
+    def test_augmented_mapping_is_not_invertible(self, augmented_invertible):
+        mapping, augmented = augmented_invertible
+        computed = inverse(mapping)
+        lifted = SchemaMapping(
+            computed.source,
+            augmented.source,
+            computed.dependencies,
+            name="lifted-inverse",
+        )
+        universe = instance_universe(augmented.source, ["a"], max_facts=1)
+        verdict = is_inverse(augmented, lifted, universe)
+        assert not verdict.holds
+        # The witness: an Extra-fact cannot be recovered, so a pair in
+        # Inst(M*∘M') escapes Inst(Id).
+        assert any(kind == "comp_only" for _, _, kind in verdict.mismatches)
+
+    def test_inverse_of_m_is_quasi_inverse_of_m_star(self, augmented_invertible):
+        mapping, augmented = augmented_invertible
+        computed = inverse(mapping)
+        lifted = SchemaMapping(
+            computed.source,
+            augmented.source,
+            computed.dependencies,
+            name="lifted-inverse",
+        )
+        universe = instance_universe(augmented.source, ["a"], max_facts=1)
+        assert is_quasi_inverse(augmented, lifted, universe).holds
+
+
+class TestQuasiInversesSurvive:
+    def test_lifted_quasi_inverse_still_works(self):
+        mapping = union_mapping()
+        augmented = mapping.augment_source("Extra", 1)
+        reverse = union_quasi_inverse()
+        lifted = SchemaMapping(
+            reverse.source,
+            augmented.source,
+            reverse.dependencies,
+            name="lifted-QI",
+        )
+        universe = instance_universe(augmented.source, ["a"], max_facts=1)
+        assert is_quasi_inverse(augmented, lifted, universe).holds
+
+    def test_augmenting_twice_composes(self):
+        mapping = union_mapping().augment_source("X1", 1).augment_source("X2", 2)
+        assert "X1" in mapping.source and "X2" in mapping.source
+        assert mapping.dependencies == union_mapping().dependencies

@@ -1,0 +1,94 @@
+"""Unit tests for forward / reverse exchange and round trips."""
+
+import pytest
+
+from repro.catalog import (
+    decomposition,
+    decomposition_quasi_inverse_join,
+    decomposition_quasi_inverse_split,
+    figure_1_instance,
+    union_mapping,
+    union_quasi_inverse,
+)
+from repro.core.mapping import MappingError, SchemaMapping
+from repro.datamodel.instances import Instance
+from repro.datamodel.schemas import Schema, SchemaError
+from repro.dataexchange.exchange import exchange, reverse_exchange, round_trip
+
+
+class TestForward:
+    def test_exchange_restricts_to_target(self):
+        mapping = decomposition()
+        result = exchange(mapping, figure_1_instance())
+        assert set(result.relations()) <= set(mapping.target.names())
+
+    def test_exchange_validates_source(self):
+        mapping = decomposition()
+        with pytest.raises(SchemaError):
+            exchange(mapping, Instance.build({"X": [("a",)]}))
+
+    def test_exchange_requires_tgd_mapping(self):
+        reverse = SchemaMapping.from_text(
+            Schema.of({"S": 1}),
+            Schema.of({"P": 1, "Q": 1}),
+            "S(x) -> P(x) | Q(x)",
+        )
+        with pytest.raises(MappingError):
+            exchange(reverse, Instance.build({"S": [("a",)]}))
+
+    def test_figure_1_exchange(self):
+        result = exchange(decomposition(), figure_1_instance())
+        assert result == Instance.build(
+            {"Q": [("a", "b"), ("a'", "b")], "R": [("b", "c"), ("b", "c'")]}
+        )
+
+
+class TestReverse:
+    def test_deterministic_reverse_for_tgd_mapping(self):
+        target = exchange(decomposition(), figure_1_instance())
+        recovered = reverse_exchange(decomposition_quasi_inverse_join(), target)
+        assert len(recovered) == 1
+
+    def test_disjunctive_reverse_enumerates_worlds(self):
+        target = Instance.build({"S": [("a",), ("b",)]})
+        recovered = reverse_exchange(union_quasi_inverse(), target)
+        assert len(recovered) == 4  # 2 disjuncts ^ 2 facts
+
+    def test_reverse_results_restricted_to_source_schema(self):
+        target = exchange(decomposition(), figure_1_instance())
+        for recovered in reverse_exchange(
+            decomposition_quasi_inverse_split(), target
+        ):
+            assert set(recovered.relations()) <= {"P"}
+
+    def test_duplicate_worlds_are_deduplicated(self):
+        reverse = SchemaMapping.from_text(
+            Schema.of({"S": 1}),
+            Schema.of({"P": 1, "Q": 1}),
+            "S(x) -> P(x) | P(x)",
+        )
+        recovered = reverse_exchange(reverse, Instance.build({"S": [("a",)]}))
+        assert len(recovered) == 1
+
+
+class TestRoundTrip:
+    def test_round_trip_structure(self):
+        trip = round_trip(
+            decomposition(), decomposition_quasi_inverse_join(), figure_1_instance()
+        )
+        assert trip.source == figure_1_instance()
+        assert len(trip.recovered) == len(trip.re_exported) == 1
+
+    def test_round_trip_with_branching(self):
+        source = Instance.build({"P": [("a",)], "Q": [("b",)]})
+        trip = round_trip(union_mapping(), union_quasi_inverse(), source)
+        assert len(trip.recovered) == 4
+        assert len(trip.re_exported) == 4
+
+    def test_pretty_includes_all_stages(self):
+        trip = round_trip(
+            decomposition(), decomposition_quasi_inverse_join(), figure_1_instance()
+        )
+        rendered = trip.pretty()
+        assert "U = chase_Σ(I)" in rendered
+        assert "V1" in rendered

@@ -1,0 +1,85 @@
+"""Unit tests for conjunctive queries and certain answers."""
+
+import pytest
+
+from repro.catalog import decomposition, projection
+from repro.datamodel.atoms import atom
+from repro.datamodel.instances import Instance
+from repro.datamodel.terms import Constant, Null, Variable
+from repro.dataexchange.queries import (
+    ConjunctiveQuery,
+    certain_answers,
+    evaluate,
+    parse_query,
+)
+from repro.dependencies.parser import ParseError
+
+
+class TestParsing:
+    def test_parse_query(self):
+        query = parse_query("q(x, y) :- P(x, z), Q(z, y)")
+        assert query.name == "q"
+        assert [v.name for v in query.head] == ["x", "y"]
+        assert len(query.atoms) == 2
+
+    def test_boolean_query(self):
+        query = parse_query("q() :- P(x)")
+        assert query.head == ()
+
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery((Variable("y"),), (atom("P", Variable("x")),))
+
+    def test_malformed_query_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("just some text")
+        with pytest.raises(ParseError):
+            parse_query("q(x) :- P(x) garbage(")
+
+
+class TestEvaluation:
+    def test_join_evaluation(self):
+        instance = Instance.build({"P": [("a", "b")], "Q": [("b", "c")]})
+        query = parse_query("q(x, y) :- P(x, z), Q(z, y)")
+        assert evaluate(query, instance) == {(Constant("a"), Constant("c"))}
+
+    def test_naive_evaluation_includes_nulls(self):
+        instance = Instance.of([atom("P", "a", Null("n"))])
+        query = parse_query("q(x, y) :- P(x, y)")
+        assert (Constant("a"), Null("n")) in evaluate(query, instance)
+
+    def test_boolean_query_yields_empty_tuple(self):
+        instance = Instance.build({"P": [("a",)]})
+        query = parse_query("q() :- P(x)")
+        assert evaluate(query, instance) == {()}
+
+    def test_unsatisfied_query_is_empty(self):
+        query = parse_query("q(x) :- P(x, x)")
+        assert evaluate(query, Instance.build({"P": [("a", "b")]})) == frozenset()
+
+
+class TestCertainAnswers:
+    def test_null_tuples_excluded(self):
+        mapping = projection()
+        source = Instance.build({"P": [("a", "b")]})
+        first = parse_query("q(x) :- Q(x)")
+        assert certain_answers(first, mapping, source) == {(Constant("a"),)}
+
+    def test_join_certain_answers_survive_decomposition(self):
+        mapping = decomposition()
+        source = Instance.build({"P": [("a", "b", "c")]})
+        query = parse_query("q(x, z) :- Q(x, y), R(y, z)")
+        assert certain_answers(query, mapping, source) == {
+            (Constant("a"), Constant("c"))
+        }
+
+    def test_certain_answers_respect_equivalence(self):
+        # ∼M-equivalent sources have identical certain answers.
+        from repro.catalog import example_3_10_witnesses
+
+        mapping = decomposition()
+        left, right = example_3_10_witnesses()
+        query = parse_query("q(x, z) :- Q(x, y), R(y, z)")
+        assert certain_answers(query, mapping, left) == certain_answers(
+            query, mapping, right
+        )

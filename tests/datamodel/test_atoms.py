@@ -1,0 +1,70 @@
+"""Unit tests for atoms and facts."""
+
+import pytest
+
+from repro.datamodel.atoms import Atom, atom, atoms_variables
+from repro.datamodel.terms import Constant, Null, Variable
+
+
+class TestConstruction:
+    def test_atom_helper_coerces_raw_values(self):
+        built = atom("P", "a", 3)
+        assert built.args == (Constant("a"), Constant(3))
+
+    def test_atom_helper_passes_terms_through(self):
+        built = atom("P", Variable("x"), Null("n"))
+        assert built.args == (Variable("x"), Null("n"))
+
+    def test_atom_helper_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            atom("P", 1.5)
+
+    def test_arity(self):
+        assert atom("P", "a", "b").arity == 2
+        assert Atom("Q", ()).arity == 0
+
+
+class TestClassification:
+    def test_is_fact_excludes_variables(self):
+        assert atom("P", "a", Null("n")).is_fact()
+        assert not atom("P", Variable("x")).is_fact()
+
+    def test_is_ground_excludes_nulls(self):
+        assert atom("P", "a").is_ground()
+        assert not atom("P", Null("n")).is_ground()
+
+    def test_term_iterators(self):
+        built = atom("P", "a", Variable("x"), Null("n"))
+        assert list(built.constants()) == [Constant("a")]
+        assert list(built.variables()) == [Variable("x")]
+        assert list(built.nulls()) == [Null("n")]
+
+
+class TestSubstitution:
+    def test_substitute_is_identity_where_absent(self):
+        built = atom("P", Variable("x"), Variable("y"))
+        image = built.substitute({Variable("x"): Constant("a")})
+        assert image == atom("P", "a", Variable("y"))
+
+    def test_substitute_does_not_mutate(self):
+        built = atom("P", Variable("x"))
+        built.substitute({Variable("x"): Constant("a")})
+        assert built == atom("P", Variable("x"))
+
+
+class TestOrderingAndRendering:
+    def test_atoms_sort_by_relation_then_args(self):
+        assert atom("P", "a") < atom("Q", "a")
+        assert atom("P", "a") < atom("P", "b")
+
+    def test_rendering(self):
+        assert str(atom("P", "a", Variable("x"))) == "P(a, x)"
+
+    def test_atoms_variables_order_of_first_occurrence(self):
+        first = atom("P", Variable("y"), Variable("x"))
+        second = atom("Q", Variable("x"), Variable("z"))
+        assert atoms_variables([first, second]) == (
+            Variable("y"),
+            Variable("x"),
+            Variable("z"),
+        )

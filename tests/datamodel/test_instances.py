@@ -1,0 +1,107 @@
+"""Unit tests for instances."""
+
+import pytest
+
+from repro.datamodel.atoms import atom
+from repro.datamodel.instances import Instance, rename_apart
+from repro.datamodel.schemas import Schema, SchemaError
+from repro.datamodel.terms import Constant, Null, Variable
+
+
+class TestConstruction:
+    def test_build_coerces_rows(self):
+        instance = Instance.build({"P": [("a", "b"), ("a", "c")]})
+        assert len(instance) == 2
+        assert atom("P", "a", "b") in instance
+
+    def test_empty_is_falsy_and_shared(self):
+        assert not Instance.empty()
+        assert Instance.empty() == Instance.of([])
+
+    def test_duplicate_facts_collapse(self):
+        instance = Instance.of([atom("P", "a"), atom("P", "a")])
+        assert len(instance) == 1
+
+    def test_equality_is_by_fact_set(self):
+        left = Instance.build({"P": [("a",), ("b",)]})
+        right = Instance.of([atom("P", "b"), atom("P", "a")])
+        assert left == right
+        assert hash(left) == hash(right)
+
+
+class TestQueries:
+    def test_facts_for_is_sorted(self):
+        instance = Instance.build({"P": [("b",), ("a",)]})
+        assert instance.facts_for("P") == (atom("P", "a"), atom("P", "b"))
+
+    def test_facts_for_missing_relation_is_empty(self):
+        assert Instance.empty().facts_for("P") == ()
+
+    def test_active_domain_and_kind_views(self):
+        instance = Instance.of([atom("P", "a", Null("n"), Variable("x"))])
+        assert instance.constants() == {Constant("a")}
+        assert instance.nulls() == {Null("n")}
+        assert instance.variables() == {Variable("x")}
+
+    def test_is_ground(self):
+        assert Instance.build({"P": [("a",)]}).is_ground()
+        assert not Instance.of([atom("P", Null("n"))]).is_ground()
+
+    def test_iteration_is_sorted(self):
+        instance = Instance.build({"Q": [("b",)], "P": [("a",)]})
+        assert list(instance) == [atom("P", "a"), atom("Q", "b")]
+
+
+class TestSetOperations:
+    def test_union_difference_subset(self):
+        left = Instance.build({"P": [("a",)]})
+        right = Instance.build({"P": [("b",)]})
+        both = left.union(right)
+        assert left.issubset(both) and right.issubset(both)
+        assert both.difference(left) == right
+
+    def test_union_accepts_raw_atoms(self):
+        grown = Instance.empty().union([atom("P", "a")])
+        assert len(grown) == 1
+
+    def test_restrict_to_schema(self):
+        instance = Instance.build({"P": [("a",)], "Q": [("b",)]})
+        restricted = instance.restrict_to(Schema.of({"P": 1}))
+        assert restricted == Instance.build({"P": [("a",)]})
+
+    def test_substitute_maps_terms(self):
+        instance = Instance.of([atom("P", Null("n"), "a")])
+        image = instance.substitute({Null("n"): Constant("c")})
+        assert image == Instance.build({"P": [("c", "a")]})
+
+
+class TestValidation:
+    def test_validate_accepts_conforming(self):
+        Instance.build({"P": [("a",)]}).validate(Schema.of({"P": 1}))
+
+    def test_validate_rejects_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            Instance.build({"P": [("a", "b")]}).validate(Schema.of({"P": 1}))
+
+
+class TestRenameApart:
+    def test_colliding_nulls_are_renamed(self):
+        instance = Instance.of([atom("P", Null("n0"))])
+        renamed, mapping = rename_apart(instance, [Null("n0")])
+        assert Null("n0") not in renamed.nulls()
+        assert mapping
+
+    def test_disjoint_nulls_untouched(self):
+        instance = Instance.of([atom("P", Null("n0"))])
+        renamed, mapping = rename_apart(instance, [Null("other")])
+        assert renamed == instance
+        assert mapping == {}
+
+
+class TestRendering:
+    def test_to_rows(self):
+        instance = Instance.build({"P": [("a", "b")]})
+        assert instance.to_rows() == {"P": [("a", "b")]}
+
+    def test_pretty_of_empty(self):
+        assert Instance.empty().pretty() == "(empty)"

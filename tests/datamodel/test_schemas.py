@@ -1,0 +1,74 @@
+"""Unit tests for schemas."""
+
+import pytest
+
+from repro.datamodel.atoms import atom
+from repro.datamodel.schemas import Schema, SchemaError
+
+
+class TestConstruction:
+    def test_of_mapping(self):
+        schema = Schema.of({"P": 2, "Q": 1})
+        assert schema.arity("P") == 2
+        assert schema.arity("Q") == 1
+
+    def test_of_pairs(self):
+        schema = Schema.of([("P", 2)])
+        assert "P" in schema
+
+    def test_relations_are_sorted_canonically(self):
+        assert Schema.of({"B": 1, "A": 1}) == Schema.of({"A": 1, "B": 1})
+
+    def test_duplicate_with_conflicting_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((("P", 1), ("P", 2)))
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of({"P": -1})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of({"": 1})
+
+
+class TestQueries:
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of({"P": 1}).arity("Q")
+
+    def test_iteration_and_len(self):
+        schema = Schema.of({"B": 1, "A": 2})
+        assert list(schema) == ["A", "B"]
+        assert len(schema) == 2
+
+    def test_validate_atom(self):
+        schema = Schema.of({"P": 2})
+        schema.validate_atom(atom("P", "a", "b"))
+        with pytest.raises(SchemaError):
+            schema.validate_atom(atom("P", "a"))
+        with pytest.raises(SchemaError):
+            schema.validate_atom(atom("Q", "a"))
+
+
+class TestSurgery:
+    def test_augment_adds_fresh_relation(self):
+        schema = Schema.of({"P": 1}).augment("R", 3)
+        assert schema.arity("R") == 3
+        assert schema.arity("P") == 1
+
+    def test_augment_rejects_existing(self):
+        with pytest.raises(SchemaError):
+            Schema.of({"P": 1}).augment("P", 1)
+
+    def test_union_merges(self):
+        merged = Schema.of({"P": 1}).union(Schema.of({"Q": 2}))
+        assert set(merged.names()) == {"P", "Q"}
+
+    def test_union_rejects_arity_conflicts(self):
+        with pytest.raises(SchemaError):
+            Schema.of({"P": 1}).union(Schema.of({"P": 2}))
+
+    def test_disjointness(self):
+        assert Schema.of({"P": 1}).is_disjoint_from(Schema.of({"Q": 1}))
+        assert not Schema.of({"P": 1}).is_disjoint_from(Schema.of({"P": 1}))

@@ -1,0 +1,147 @@
+"""Unit tests for the dependency language (Definition 2.1)."""
+
+import pytest
+
+from repro.datamodel.atoms import atom
+from repro.datamodel.schemas import Schema
+from repro.datamodel.terms import Variable
+from repro.dependencies.dependency import (
+    Dependency,
+    DependencyError,
+    LanguageFeatures,
+    Premise,
+    language_audit,
+    tgd,
+)
+from repro.dependencies.parser import parse_dependency
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestPremise:
+    def test_constant_var_must_occur_in_atoms(self):
+        with pytest.raises(DependencyError):
+            Premise((atom("P", X),), constant_vars=frozenset({Y}))
+
+    def test_inequality_vars_must_occur_in_atoms(self):
+        with pytest.raises(DependencyError):
+            Premise((atom("P", X),), inequalities=frozenset({(X, Y)}))
+
+    def test_inequality_normalized_to_sorted_pair(self):
+        premise = Premise((atom("P", X, Y),), inequalities={(Y, X)})
+        assert premise.inequalities == frozenset({(X, Y)})
+
+    def test_reflexive_inequality_rejected(self):
+        with pytest.raises(DependencyError):
+            Premise((atom("P", X),), inequalities={(X, X)})
+
+    def test_inequalities_among_constants_detection(self):
+        both = Premise(
+            (atom("P", X, Y),),
+            constant_vars=frozenset({X, Y}),
+            inequalities={(X, Y)},
+        )
+        assert both.inequalities_among_constants()
+        one = Premise(
+            (atom("P", X, Y),), constant_vars=frozenset({X}), inequalities={(X, Y)}
+        )
+        assert not one.inequalities_among_constants()
+
+
+class TestStructure:
+    def test_frontier_in_premise_order(self):
+        dep = parse_dependency("P(y, x) & Q(x, z) -> R(z, y)")
+        assert dep.frontier() == (Variable("y"), Variable("z"))
+
+    def test_existential_variables_per_disjunct(self):
+        dep = parse_dependency("P(x) -> Q(x, y) | R(x)")
+        assert dep.existential_variables(0) == (Variable("y"),)
+        assert dep.existential_variables(1) == ()
+
+    def test_empty_premise_rejected(self):
+        with pytest.raises(DependencyError):
+            Dependency(Premise(()), ((atom("Q", X),),))
+
+    def test_empty_disjunct_rejected(self):
+        with pytest.raises(DependencyError):
+            Dependency(Premise((atom("P", X),)), ((),))
+
+    def test_no_disjuncts_rejected(self):
+        with pytest.raises(DependencyError):
+            Dependency(Premise((atom("P", X),)), ())
+
+
+class TestClassification:
+    def test_plain_tgd(self):
+        dep = parse_dependency("P(x, y) & R(y) -> Q(x)")
+        assert dep.is_tgd() and dep.is_full() and not dep.is_lav()
+
+    def test_lav(self):
+        assert parse_dependency("P(x) -> Q(x, y)").is_lav()
+        assert not parse_dependency("P(x) & R(x) -> Q(x)").is_lav()
+
+    def test_full_requires_no_existentials_anywhere(self):
+        assert parse_dependency("P(x) -> Q(x) | R(x)").is_full()
+        assert not parse_dependency("P(x) -> Q(x) | R(x, y)").is_full()
+
+    def test_constraints_disqualify_tgd(self):
+        dep = parse_dependency("P(x, y) & x != y -> Q(x)")
+        assert not dep.is_tgd()
+
+    def test_language_features(self):
+        dep = parse_dependency(
+            "P(x, y) & Constant(x) & x != y -> Q(x, z) | R(x)"
+        )
+        assert dep.language_features() == LanguageFeatures(True, True, True, True)
+
+    def test_language_audit_is_union(self):
+        deps = [
+            parse_dependency("P(x, y) -> Q(x)"),
+            parse_dependency("P(x, y) & x != y -> Q(x)"),
+        ]
+        assert language_audit(deps) == LanguageFeatures(inequalities=True)
+
+    def test_features_describe(self):
+        assert LanguageFeatures().describe() == "plain full tgds"
+        assert LanguageFeatures(constants=True).describe() == "constants"
+
+
+class TestValidation:
+    def test_validate_against_schemas(self):
+        dep = parse_dependency("P(x, y) -> Q(x)")
+        dep.validate(Schema.of({"P": 2}), Schema.of({"Q": 1}))
+        with pytest.raises(DependencyError):
+            dep.validate(Schema.of({"P": 1}), Schema.of({"Q": 1}))
+        with pytest.raises(DependencyError):
+            dep.validate(Schema.of({"P": 2}), Schema.of({"R": 1}))
+
+
+class TestTransformation:
+    def test_substitute_renames_everywhere(self):
+        dep = parse_dependency("P(x, y) & x != y -> Q(x, z)")
+        renamed = dep.substitute({X: Variable("a")})
+        assert renamed == parse_dependency("P(a, y) & a != y -> Q(a, z)")
+
+    def test_substitute_collapsing_inequality_rejected(self):
+        dep = parse_dependency("P(x, y) & x != y -> Q(x)")
+        with pytest.raises(DependencyError):
+            dep.substitute({X: Y})
+
+    def test_canonical_form_is_renaming_invariant(self):
+        left = parse_dependency("P(x, y) -> Q(x, z)")
+        right = parse_dependency("P(a, b) -> Q(a, w)")
+        assert left.canonical_form() == right.canonical_form()
+
+    def test_canonical_form_is_conjunct_order_invariant(self):
+        left = parse_dependency("P(x) & R(x) -> Q(x)")
+        right = parse_dependency("R(x) & P(x) -> Q(x)")
+        assert left.canonical_form() == right.canonical_form()
+
+    def test_canonical_form_distinguishes_distinct_dependencies(self):
+        left = parse_dependency("P(x, y) -> Q(x)")
+        right = parse_dependency("P(x, x) -> Q(x)")
+        assert left.canonical_form() != right.canonical_form()
+
+    def test_tgd_helper(self):
+        dep = tgd([atom("P", X, Y)], [atom("Q", X)])
+        assert dep.is_tgd()

@@ -1,0 +1,84 @@
+"""Unit tests for complete descriptions and Sigma* (Section 4)."""
+
+import pytest
+
+from repro.datamodel.terms import Variable
+from repro.dependencies.descriptions import (
+    complete_descriptions,
+    quotient,
+    set_partitions,
+    sigma_star,
+)
+from repro.dependencies.parser import parse_dependency
+
+BELL = {0: 1, 1: 1, 2: 2, 3: 5, 4: 15, 5: 52}
+
+
+class TestSetPartitions:
+    @pytest.mark.parametrize("n,expected", sorted(BELL.items()))
+    def test_counts_are_bell_numbers(self, n, expected):
+        assert sum(1 for _ in set_partitions(range(n))) == expected
+
+    def test_partitions_are_distinct(self):
+        partitions = [
+            frozenset(frozenset(block) for block in p)
+            for p in set_partitions(range(4))
+        ]
+        assert len(partitions) == len(set(partitions))
+
+    def test_every_partition_covers_all_items(self):
+        for partition in set_partitions(["a", "b", "c"]):
+            assert sorted(x for block in partition for x in block) == ["a", "b", "c"]
+
+    def test_deterministic_order(self):
+        assert list(set_partitions(range(3))) == list(set_partitions(range(3)))
+
+
+class TestCompleteDescriptions:
+    def test_identity_description_present(self):
+        xs = [Variable("x1"), Variable("x2")]
+        descriptions = list(complete_descriptions(xs))
+        assert {v: v for v in xs} in descriptions
+
+    def test_representatives_are_first_in_input_order(self):
+        x1, x2 = Variable("x1"), Variable("x2")
+        merged = [d for d in complete_descriptions([x1, x2]) if d[x2] == x1]
+        assert merged == [{x1: x1, x2: x1}]
+
+
+class TestSigmaStar:
+    def test_paper_example(self):
+        # Example 4.5: sigma_2 = f(sigma_1, x1 = x2).
+        sigma1 = parse_dependency("P(x1, x2, x3) -> S(x1, x2, y) & Q(y, y)")
+        star = sigma_star([sigma1])
+        expected = parse_dependency("P(x1, x1, x3) -> S(x1, x1, y) & Q(y, y)")
+        keys = {d.canonical_form() for d in star}
+        assert sigma1.canonical_form() in keys
+        assert expected.canonical_form() in keys
+        assert len(star) == 2  # frontier is (x1, x2): two descriptions
+
+    def test_single_frontier_variable_adds_nothing(self):
+        sigma = parse_dependency("P(x, u) -> Q(x)")
+        assert len(sigma_star([sigma])) == 1
+
+    def test_quotients_by_frontier_not_all_variables(self):
+        # u is premise-only: it is not quotiented.
+        sigma = parse_dependency("P(x, y, u) -> Q(x, y)")
+        star = sigma_star([sigma])
+        assert len(star) == 2
+
+    def test_deduplication_across_members(self):
+        left = parse_dependency("P(x, y) -> Q(x, y)")
+        right = parse_dependency("P(a, b) -> Q(a, b)")  # same up to renaming
+        assert len(sigma_star([left, right])) == len(sigma_star([left]))
+
+    def test_quotient_applies_description(self):
+        sigma = parse_dependency("P(x, y) -> Q(x, y)")
+        x, y = Variable("x"), Variable("y")
+        merged = quotient(sigma, {x: x, y: x})
+        assert merged == parse_dependency("P(x, x) -> Q(x, x)")
+
+    def test_originals_come_first(self):
+        sigma = parse_dependency("P(x, y) -> Q(x, y)")
+        star = sigma_star([sigma])
+        assert star[0] == sigma

@@ -1,0 +1,134 @@
+"""Unit tests for the dependency text parser."""
+
+import pytest
+
+from repro.datamodel.atoms import atom
+from repro.datamodel.terms import Constant, Variable
+from repro.dependencies.parser import ParseError, parse_dependencies, parse_dependency
+
+
+class TestBasics:
+    def test_simple_tgd(self):
+        dep = parse_dependency("P(x, y) -> Q(x)")
+        assert dep.premise.atoms == (atom("P", Variable("x"), Variable("y")),)
+        assert dep.disjuncts == ((atom("Q", Variable("x")),),)
+
+    def test_conjunctions_on_both_sides(self):
+        dep = parse_dependency("P(x) & R(x) -> Q(x) & S(x)")
+        assert len(dep.premise.atoms) == 2
+        assert len(dep.disjuncts[0]) == 2
+
+    def test_comma_as_conjunction(self):
+        dep = parse_dependency("P(x), R(x) -> Q(x), S(x)")
+        assert len(dep.premise.atoms) == 2
+        assert len(dep.disjuncts[0]) == 2
+
+    def test_disjunction(self):
+        dep = parse_dependency("S(x) -> P(x) | Q(x)")
+        assert len(dep.disjuncts) == 2
+
+    def test_unicode_connectives(self):
+        dep = parse_dependency("P(x) ∧ R(x) → Q(x) ∨ S(x)")
+        assert len(dep.premise.atoms) == 2
+        assert len(dep.disjuncts) == 2
+
+
+class TestConstraints:
+    def test_constant_conjunct(self):
+        dep = parse_dependency("P(x, y) & Constant(x) -> Q(x)")
+        assert dep.premise.constant_vars == frozenset({Variable("x")})
+
+    def test_inequality(self):
+        dep = parse_dependency("P(x, y) & x != y -> Q(x)")
+        assert dep.premise.inequalities == frozenset(
+            {(Variable("x"), Variable("y"))}
+        )
+
+    def test_unicode_inequality(self):
+        dep = parse_dependency("P(x, y) & x ≠ y -> Q(x)")
+        assert dep.premise.inequalities
+
+    def test_reflexive_inequality_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dependency("P(x, y) & x != x -> Q(x)")
+
+
+class TestTermsAndExistentials:
+    def test_constants_in_atoms(self):
+        dep = parse_dependency("P(x, 'a', 3) -> Q(x)")
+        assert dep.premise.atoms[0].args[1] == Constant("a")
+        assert dep.premise.atoms[0].args[2] == Constant(3)
+
+    def test_implicit_existentials(self):
+        dep = parse_dependency("P(x) -> Q(x, y)")
+        assert dep.existential_variables(0) == (Variable("y"),)
+
+    def test_declared_existentials_validated(self):
+        dep = parse_dependency("P(x) -> exists y . Q(x, y)")
+        assert dep.existential_variables(0) == (Variable("y"),)
+        with pytest.raises(ParseError):
+            parse_dependency("P(x) -> exists z . Q(x, y)")
+
+    def test_multiple_declared_existentials(self):
+        dep = parse_dependency("P(x) -> exists y, z . Q(x, y) & R(y, z)")
+        assert set(dep.existential_variables(0)) == {Variable("y"), Variable("z")}
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "P(x)",
+            "P(x) ->",
+            "-> Q(x)",
+            "P(x) -> Q(x) extra",
+            "P(x -> Q(x)",
+            "P(x) -> Q(x) |",
+            "P(x) % Q(x)",
+            "Constant(x) -> Q(x)",
+        ],
+    )
+    def test_malformed_inputs_raise(self, bad):
+        with pytest.raises(ParseError):
+            parse_dependency(bad)
+
+    def test_constraints_not_allowed_in_conclusion(self):
+        with pytest.raises(ParseError):
+            parse_dependency("P(x, y) -> x != y")
+
+
+class TestMultiple:
+    def test_newline_and_semicolon_separated(self):
+        deps = parse_dependencies("P(x) -> Q(x)\nR(x) -> Q(x); S(x) -> Q(x)")
+        assert len(deps) == 3
+
+    def test_comments_and_blank_lines_ignored(self):
+        deps = parse_dependencies(
+            """
+            # the projection
+            P(x, y) -> Q(x)
+
+            """
+        )
+        assert len(deps) == 1
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "P(x, y) -> Q(x)",
+            "Q(x, y) & R(y, z) -> P(x, y, z)",
+            "S(x) -> P(x) | Q(x)",
+            "P(x, y, z) & Constant(x) & x != y -> Q(x, w) | Q(x, y)",
+            "S(x1, x2, y) & Constant(x1) & Constant(x2) & x1 != x2 -> P(x1, x2, x3)",
+        ],
+    )
+    def test_render_then_parse_is_identity(self, text):
+        from repro.dependencies.rendering import render_dependency
+
+        dep = parse_dependency(text)
+        for unicode in (True, False):
+            rendered = render_dependency(dep, unicode=unicode)
+            assert parse_dependency(rendered) == dep

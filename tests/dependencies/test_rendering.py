@@ -1,0 +1,61 @@
+"""Unit tests for dependency rendering."""
+
+from repro.dependencies.parser import parse_dependencies, parse_dependency
+from repro.dependencies.rendering import render_dependencies, render_dependency
+
+
+class TestUnicode:
+    def test_connectives(self):
+        dep = parse_dependency("P(x) & R(x) -> Q(x) | S(x)")
+        rendered = render_dependency(dep)
+        assert "∧" in rendered and "→" in rendered and "∨" in rendered
+
+    def test_existential_prefix(self):
+        dep = parse_dependency("P(x) -> Q(x, y)")
+        assert render_dependency(dep) == "P(x) → ∃y Q(x, y)"
+
+    def test_multi_atom_existential_group_is_parenthesized(self):
+        dep = parse_dependency("P(x) -> Q(x, y) & R(y)")
+        rendered = render_dependency(dep)
+        assert "(" in rendered and rendered.endswith(")")
+
+    def test_constraints_rendered(self):
+        dep = parse_dependency("P(x, y) & Constant(x) & x != y -> Q(x)")
+        rendered = render_dependency(dep)
+        assert "Constant(x)" in rendered and "x ≠ y" in rendered
+
+
+class TestAscii:
+    def test_pure_ascii(self):
+        dep = parse_dependency(
+            "P(x, y) & Constant(x) & x != y -> Q(x, z) | S(x)"
+        )
+        rendered = render_dependency(dep, unicode=False)
+        assert rendered.isascii()
+        assert "exists z ." in rendered
+        assert "!=" in rendered and "->" in rendered and "|" in rendered
+
+
+class TestMultiple:
+    def test_render_dependencies_one_per_line(self):
+        deps = parse_dependencies("P(x) -> Q(x)\nR(x) -> Q(x)")
+        rendered = render_dependencies(deps)
+        assert len(rendered.splitlines()) == 2
+        assert all(line.startswith("  ") for line in rendered.splitlines())
+
+    def test_custom_indent(self):
+        deps = parse_dependencies("P(x) -> Q(x)")
+        assert render_dependencies(deps, indent="").startswith("P(x)")
+
+
+class TestStability:
+    def test_str_uses_renderer(self):
+        dep = parse_dependency("P(x) -> Q(x)")
+        assert str(dep) == render_dependency(dep)
+
+    def test_rendering_is_deterministic(self):
+        dep = parse_dependency("P(x, y) & Constant(y) & Constant(x) -> Q(x)")
+        assert render_dependency(dep) == render_dependency(dep)
+        # Constant conjuncts appear in sorted variable order.
+        rendered = render_dependency(dep)
+        assert rendered.index("Constant(x)") < rendered.index("Constant(y)")

@@ -1,0 +1,46 @@
+"""Integration tests: every experiment must pass end-to-end.
+
+These are the repository's reproduction gate: each experiment compares
+the library's behaviour against what the paper states, so a failure
+here means the reproduction has drifted.
+"""
+
+import pytest
+
+from repro.experiments import all_experiment_ids, run_experiment
+from repro.experiments.registry import get_experiment
+
+
+@pytest.mark.parametrize("experiment_id", all_experiment_ids())
+def test_experiment_passes(experiment_id):
+    report = run_experiment(experiment_id)
+    failed = [check for check in report.checks if not check.passed]
+    assert not failed, "\n".join(check.render() for check in failed)
+
+
+def test_registry_is_complete():
+    assert all_experiment_ids() == tuple(f"E{i}" for i in range(1, 15))
+
+
+def test_lookup_is_case_insensitive():
+    assert get_experiment("e11") is get_experiment("E11")
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        get_experiment("E99")
+
+
+def test_reports_render():
+    report = run_experiment("E11")
+    rendered = report.render()
+    assert "Figure 1" in rendered
+    assert "PASS" in rendered
+
+
+def test_e13_records_comparison_data():
+    report = run_experiment("E13")
+    assert "Example5.4" in report.data
+    comparison = report.data["Example5.4"]
+    assert comparison["inverse_deps"] == 2
+    assert comparison["quasi_uses_existentials"] is True

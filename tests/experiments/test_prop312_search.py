@@ -1,0 +1,32 @@
+"""Unit tests for the complete Prop 3.12 refuter."""
+
+from repro.catalog import prop_3_12
+from repro.core import data_exchange_equivalent, solutions_contained
+from repro.experiments.prop312_search import search_violation
+
+
+class TestSearch:
+    def test_no_violation_with_two_constants(self):
+        assert search_violation(domain_size=2) is None
+
+    def test_violation_with_three_constants(self):
+        witness = search_violation(domain_size=3)
+        assert witness is not None
+        assert witness.domain_size == 3
+
+    def test_witness_is_the_known_pair(self):
+        witness = search_violation(domain_size=3)
+        assert len(witness.left) == 1  # the self-loop E(0,0)
+        assert len(witness.right) == 4
+
+    def test_witness_certifies_containment_without_equivalence(self):
+        mapping = prop_3_12()
+        witness = search_violation(domain_size=3)
+        assert solutions_contained(mapping, witness.right, witness.left)
+        assert not data_exchange_equivalent(mapping, witness.left, witness.right)
+
+    def test_witness_instances_are_ground_edge_sets(self):
+        witness = search_violation(domain_size=3)
+        for instance in (witness.left, witness.right):
+            assert instance.is_ground()
+            assert set(instance.relations()) <= {"E"}

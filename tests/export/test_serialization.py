@@ -1,0 +1,99 @@
+"""Unit tests for JSON serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.catalog import all_catalog_mappings, figure_1_instance
+from repro.core.quasi_inverse import quasi_inverse
+from repro.datamodel.atoms import atom
+from repro.datamodel.instances import Instance
+from repro.datamodel.schemas import Schema
+from repro.datamodel.terms import Null, Variable
+from repro.dependencies.parser import parse_dependency
+from repro.export.serialization import (
+    SerializationError,
+    dependency_from_json,
+    dependency_to_json,
+    instance_from_json,
+    instance_to_json,
+    mapping_from_json,
+    mapping_to_json,
+    schema_from_json,
+    schema_to_json,
+)
+
+
+class TestRoundTrips:
+    def test_schema(self):
+        schema = Schema.of({"P": 2, "Q": 0})
+        assert schema_from_json(schema_to_json(schema)) == schema
+
+    def test_ground_instance(self):
+        instance = figure_1_instance()
+        assert instance_from_json(instance_to_json(instance)) == instance
+
+    def test_instance_with_nulls_and_integers(self):
+        instance = Instance.of(
+            [atom("P", 1, Null("n"), "a"), atom("Q", Variable("x"))]
+        )
+        assert instance_from_json(instance_to_json(instance)) == instance
+
+    def test_dependency_with_constraints(self):
+        dep = parse_dependency(
+            "S(x1, x2, y) & Constant(x1) & x1 != x2 -> P(x1, x2, z) | U(x1)"
+        )
+        assert dependency_from_json(dependency_to_json(dep)) == dep
+
+    def test_every_catalog_mapping(self):
+        for mapping in all_catalog_mappings():
+            assert mapping_from_json(mapping_to_json(mapping)) == mapping
+
+    def test_algorithm_outputs_round_trip(self):
+        from repro.catalog import example_4_5
+
+        reverse = quasi_inverse(example_4_5())
+        assert mapping_from_json(mapping_to_json(reverse)) == reverse
+
+    def test_payload_is_json_compatible(self):
+        payload = mapping_to_json(all_catalog_mappings()[0])
+        assert mapping_from_json(json.loads(json.dumps(payload))) == (
+            all_catalog_mappings()[0]
+        )
+
+    def test_name_preserved(self):
+        mapping = all_catalog_mappings()[0]
+        assert mapping_from_json(mapping_to_json(mapping)).name == mapping.name
+
+
+class TestErrors:
+    def test_malformed_schema(self):
+        with pytest.raises(SerializationError):
+            schema_from_json({"nope": 1})
+
+    def test_malformed_term_kind(self):
+        with pytest.raises(SerializationError):
+            instance_from_json(
+                {"facts": [{"relation": "P", "args": [{"kind": "weird"}]}]}
+            )
+
+    def test_malformed_constant_value(self):
+        with pytest.raises(SerializationError):
+            instance_from_json(
+                {
+                    "facts": [
+                        {
+                            "relation": "P",
+                            "args": [{"kind": "constant", "value": 1.5}],
+                        }
+                    ]
+                }
+            )
+
+    def test_malformed_dependency(self):
+        with pytest.raises(SerializationError):
+            dependency_from_json({"disjuncts": []})
+
+    def test_malformed_mapping(self):
+        with pytest.raises(SerializationError):
+            mapping_from_json({"source": {}})

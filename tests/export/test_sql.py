@@ -1,0 +1,180 @@
+"""Unit tests for the SQL exporter."""
+
+import pytest
+
+from repro.catalog import decomposition, thm_4_9, union_mapping
+from repro.datamodel.atoms import atom
+from repro.datamodel.instances import Instance
+from repro.datamodel.schemas import Schema
+from repro.datamodel.terms import Null
+from repro.dependencies.parser import parse_dependency
+from repro.dataexchange.queries import parse_query
+from repro.export.sql import (
+    SqlExportError,
+    cq_to_select,
+    instance_to_inserts,
+    mapping_to_sql,
+    schema_to_ddl,
+    tgd_to_insert_select,
+)
+
+
+class TestDdl:
+    def test_create_tables(self):
+        ddl = schema_to_ddl(Schema.of({"P": 2, "Q": 1}))
+        assert "CREATE TABLE p (c1 TEXT, c2 TEXT);" in ddl
+        assert "CREATE TABLE q (c1 TEXT);" in ddl
+
+    def test_custom_type(self):
+        ddl = schema_to_ddl(Schema.of({"P": 1}), text_type="VARCHAR(64)")
+        assert "VARCHAR(64)" in ddl
+
+    def test_odd_names_are_quoted(self):
+        ddl = schema_to_ddl(Schema.of({"My Table": 1}))
+        assert '"my table"' in ddl.lower()
+
+
+class TestInserts:
+    def test_string_and_integer_literals(self):
+        inserts = instance_to_inserts(Instance.build({"P": [("a", 3)]}))
+        assert inserts == "INSERT INTO p VALUES ('a', 3);"
+
+    def test_quote_escaping(self):
+        inserts = instance_to_inserts(Instance.build({"P": [("o'brien",)]}))
+        assert "'o''brien'" in inserts
+
+    def test_nulls_rejected_by_default(self):
+        instance = Instance.of([atom("P", Null("n"))])
+        with pytest.raises(SqlExportError):
+            instance_to_inserts(instance)
+        assert "NULL" in instance_to_inserts(instance, allow_nulls=True)
+
+    def test_sorted_deterministic_output(self):
+        instance = Instance.build({"P": [("b",), ("a",)]})
+        first = instance_to_inserts(instance)
+        assert first.index("'a'") < first.index("'b'")
+
+
+class TestInsertSelect:
+    def test_projection_tgd(self):
+        statement = tgd_to_insert_select(parse_dependency("P(x, y) -> Q(x)"))
+        assert statement == "INSERT INTO q SELECT DISTINCT t0.c1 FROM p AS t0;"
+
+    def test_join_premise(self):
+        statement = tgd_to_insert_select(
+            parse_dependency("E(x, z) & E(z, y) -> F(x, y)")
+        )
+        assert "FROM e AS t0, e AS t1" in statement
+        assert "t0.c2 = t1.c1" in statement
+
+    def test_repeated_variable_in_one_atom(self):
+        statement = tgd_to_insert_select(parse_dependency("P(x, x) -> Q(x)"))
+        assert "t0.c1 = t0.c2" in statement
+
+    def test_inequality_compiles_to_neq(self):
+        statement = tgd_to_insert_select(
+            parse_dependency("P(x, y) & x != y -> Q(x)")
+        )
+        assert "t0.c1 <> t0.c2" in statement
+
+    def test_constant_guard_is_a_noop(self):
+        statement = tgd_to_insert_select(
+            parse_dependency("P(x, y) & Constant(x) -> Q(x)")
+        )
+        assert "Constant" not in statement
+
+    def test_multiple_conclusions_give_multiple_inserts(self):
+        statement = tgd_to_insert_select(
+            parse_dependency("P(x, y, z) -> Q(x, y) & R(y, z)")
+        )
+        assert statement.count("INSERT INTO") == 2
+
+    def test_existential_conclusion_rejected(self):
+        with pytest.raises(SqlExportError):
+            tgd_to_insert_select(parse_dependency("P(x) -> Q(x, y)"))
+
+    def test_disjunctive_conclusion_rejected(self):
+        with pytest.raises(SqlExportError):
+            tgd_to_insert_select(parse_dependency("S(x) -> P(x) | Q(x)"))
+
+
+class TestMappingAndQueries:
+    def test_full_mapping_renders_completely(self):
+        sql = mapping_to_sql(thm_4_9())
+        assert sql.count("CREATE TABLE") == 5
+        assert sql.count("INSERT INTO") == 4
+
+    def test_decomposition_renders(self):
+        sql = mapping_to_sql(decomposition())
+        assert "INSERT INTO q" in sql and "INSERT INTO r" in sql
+
+    def test_union_mapping_renders(self):
+        sql = mapping_to_sql(union_mapping())
+        assert sql.count("INSERT INTO s ") == 2
+
+    def test_cq_to_select(self):
+        statement = cq_to_select(parse_query("q(x, y) :- P(x, z), Q(z, y)"))
+        assert statement.startswith("SELECT DISTINCT t0.c1, t1.c2")
+        assert "t0.c2 = t1.c1" in statement
+
+    def test_boolean_query_selects_one(self):
+        statement = cq_to_select(parse_query("q() :- P(x)"))
+        assert statement == "SELECT DISTINCT 1 FROM p AS t0;"
+
+
+class TestAgainstSqlite:
+    """End-to-end: the exported SQL computes the same facts as the chase."""
+
+    def test_exchange_matches_sqlite(self):
+        import sqlite3
+
+        mapping = decomposition()
+        source = Instance.build(
+            {"P": [("a", "b", "c"), ("a'", "b", "c'"), ("d", "e", "f")]}
+        )
+        connection = sqlite3.connect(":memory:")
+        connection.executescript(
+            schema_to_ddl(mapping.source)
+            + "\n"
+            + schema_to_ddl(mapping.target)
+            + "\n"
+            + instance_to_inserts(source)
+            + "\n"
+            + "\n".join(
+                tgd_to_insert_select(dep) for dep in mapping.dependencies
+            )
+        )
+        rows = set(connection.execute("SELECT * FROM q")) | {
+            ("R",) + row for row in connection.execute("SELECT * FROM r")
+        }
+        from repro.core.mapping import universal_solution
+
+        chased = universal_solution(mapping, source)
+        expected = {
+            tuple(str(a.value) for a in fact.args)
+            for fact in chased.facts_for("Q")
+        } | {
+            ("R",) + tuple(str(a.value) for a in fact.args)
+            for fact in chased.facts_for("R")
+        }
+        assert rows == expected
+
+    def test_cq_matches_naive_evaluation(self):
+        import sqlite3
+
+        from repro.dataexchange.queries import evaluate
+
+        instance = Instance.build(
+            {"P": [("a", "b"), ("b", "c"), ("c", "c")]}
+        )
+        query = parse_query("q(x, y) :- P(x, z), P(z, y)")
+        connection = sqlite3.connect(":memory:")
+        connection.executescript(
+            schema_to_ddl(Schema.of({"P": 2})) + "\n" + instance_to_inserts(instance)
+        )
+        rows = set(connection.execute(cq_to_select(query).rstrip(";")))
+        expected = {
+            tuple(str(v.value) for v in answer)
+            for answer in evaluate(query, instance)
+        }
+        assert rows == expected

@@ -1,0 +1,72 @@
+"""Property-based tests for the inverse laws on constructed-invertible
+mappings (Theorem 5.1 and Proposition 3.9 as laws)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import is_inverse
+from repro.core.inverse import has_constant_propagation, inverse
+from repro.core.quasi_inverse import quasi_inverse
+from repro.dataexchange.recovery import analyze_round_trip
+from repro.workloads import (
+    instance_universe,
+    random_ground_instance,
+    random_invertible_mapping,
+)
+
+invertible_mappings = st.builds(
+    random_invertible_mapping,
+    st.integers(min_value=0, max_value=5_000),
+    n_source=st.integers(min_value=1, max_value=2),
+    max_arity=st.just(2),
+    n_extra_tgds=st.integers(min_value=0, max_value=2),
+)
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SLOW
+@given(mapping=invertible_mappings)
+def test_constructed_mappings_propagate_constants(mapping):
+    """Proposition 5.3's necessary condition holds by construction."""
+    assert has_constant_propagation(mapping)
+
+
+@SLOW
+@given(mapping=invertible_mappings)
+def test_inverse_algorithm_output_is_an_inverse(mapping):
+    """Theorem 5.1 as a law: the algorithm's output passes the exact
+    bounded inverse check on a small universe."""
+    computed = inverse(mapping)
+    universe = instance_universe(mapping.source, ["a"], max_facts=1)
+    assert is_inverse(mapping, computed, universe, max_nulls=8).holds
+
+
+@SLOW
+@given(mapping=invertible_mappings)
+def test_quasi_inverse_output_is_an_inverse_too(mapping):
+    """Proposition 3.9 as a law: on an invertible mapping the
+    QuasiInverse output is itself an inverse."""
+    computed = quasi_inverse(mapping)
+    universe = instance_universe(mapping.source, ["a"], max_facts=1)
+    assert is_inverse(mapping, computed, universe, max_nulls=8).holds
+
+
+@SLOW
+@given(
+    mapping=invertible_mappings,
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_inverse_output_is_faithful(mapping, seed):
+    """An inverse recovers (an equivalent of) any exported source."""
+    computed = inverse(mapping)
+    source = random_ground_instance(
+        mapping.source, seed=seed, n_facts=3, domain_size=2
+    )
+    report = analyze_round_trip(mapping, computed, source)
+    assert report.sound
+    assert report.faithful

@@ -1,0 +1,72 @@
+"""Property-based tests: skolemized evaluation laws and parser fuzzing."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chase.homomorphism import is_homomorphically_equivalent
+from repro.core.mapping import universal_solution
+from repro.core.skolem import skolem_exchange, skolemize
+from repro.dependencies.parser import ParseError, parse_dependency
+from repro.workloads import random_ground_instance, random_lav_mapping
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+lav_mappings = st.builds(
+    random_lav_mapping,
+    st.integers(min_value=0, max_value=10_000),
+    n_source=st.integers(min_value=1, max_value=2),
+    n_target=st.integers(min_value=1, max_value=2),
+    max_arity=st.just(2),
+    n_tgds=st.integers(min_value=1, max_value=3),
+)
+
+
+@SLOW
+@given(mapping=lav_mappings, seed=st.integers(min_value=0, max_value=1000))
+def test_skolem_exchange_is_a_universal_solution(mapping, seed):
+    """Semi-oblivious (skolemized) evaluation ≈ the restricted chase."""
+    source = random_ground_instance(
+        mapping.source, seed=seed, n_facts=3, domain_size=2
+    )
+    direct = universal_solution(mapping, source)
+    via_skolem = skolem_exchange(skolemize(mapping), source)
+    assert is_homomorphically_equivalent(direct, via_skolem)
+
+
+@SLOW
+@given(mapping=lav_mappings)
+def test_skolemize_preserves_rule_count(mapping):
+    assert len(skolemize(mapping).rules) == len(mapping.dependencies)
+
+
+# --- parser fuzzing ---------------------------------------------------------
+
+_dependency_alphabet = st.text(
+    alphabet="PQRSxyz()->&|!=, Constantexists.∃∧∨→≠0123456789'",
+    min_size=0,
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=_dependency_alphabet)
+def test_parser_never_crashes(text):
+    """Arbitrary text either parses or raises ParseError — never an
+    unexpected exception type."""
+    try:
+        parse_dependency(text)
+    except ParseError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(text=st.text(min_size=0, max_size=40))
+def test_parser_handles_arbitrary_unicode(text):
+    try:
+        parse_dependency(text)
+    except ParseError:
+        pass

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "E1" in output and "E13" in output
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "E11"]) == 0
+    output = capsys.readouterr().out
+    assert "Figure 1" in output
+    assert "ALL CHECKS PASS" in output
+
+
+def test_run_is_case_insensitive(capsys):
+    assert main(["run", "e4"]) == 0
+
+
+def test_run_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        main(["run", "E99"])
+
+
+def test_run_json_output(capsys):
+    import json
+
+    assert main(["run", "E4", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["id"] == "E4"
+    assert payload[0]["passed"] is True
+    assert all(check["passed"] for check in payload[0]["checks"])
+
+
+def test_export_sql(capsys):
+    assert main(["export", "Decomposition", "--format", "sql"]) == 0
+    output = capsys.readouterr().out
+    assert "CREATE TABLE p" in output
+    assert "INSERT INTO q" in output
+
+
+def test_export_json(capsys):
+    import json
+
+    assert main(["export", "Example4.5", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["name"] == "Example4.5"
+    assert len(payload["dependencies"]) == 4
+
+
+def test_export_unknown_mapping(capsys):
+    assert main(["export", "Nope"]) == 2
+
+
+def test_export_sql_refuses_existential_mapping(capsys):
+    # Example 4.5 has existential conclusions: no faithful SQL.
+    assert main(["export", "Example4.5", "--format", "sql"]) == 2

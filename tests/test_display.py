@@ -1,0 +1,67 @@
+"""Coverage for the human-facing string surfaces."""
+
+from repro.catalog import decomposition, figure_1_instance
+from repro.core import inverse, quasi_inverse
+from repro.core.skolem import SkolemTerm, compose_skolem, skolemize
+from repro.core.generators import Generator
+from repro.datamodel.instances import Instance
+from repro.datamodel.schemas import Schema
+from repro.datamodel.terms import Variable
+from repro.dependencies.parser import parse_dependency
+
+
+class TestStr:
+    def test_schema(self):
+        assert str(Schema.of({"P": 2, "Q": 1})) == "{P/2, Q/1}"
+
+    def test_instance_sorted(self):
+        rendered = str(Instance.build({"P": [("b",), ("a",)]}))
+        assert rendered == "{P(a), P(b)}"
+
+    def test_mapping_mentions_schemas_and_dependencies(self):
+        rendered = str(decomposition())
+        assert "Decomposition" in rendered
+        assert "{P/3}" in rendered and "Q(x, y)" in rendered
+
+    def test_generator_with_and_without_fresh_vars(self):
+        x = Variable("x")
+        closed = Generator(
+            parse_dependency("P(x) -> Q(x)").premise.atoms, (x,)
+        )
+        assert str(closed) == "P(x)"
+        open_generator = Generator(
+            parse_dependency("P(x, z1) -> Q(x)").premise.atoms, (x,)
+        )
+        assert str(open_generator) == "∃z1 (P(x, z1))"
+
+    def test_skolem_term_and_rule(self):
+        term = SkolemTerm("f", (Variable("x"),))
+        assert str(term) == "f(x)"
+        skolemized = skolemize(decomposition())
+        assert "→" in str(skolemized.rules[0])
+        assert "Sk(Decomposition)" in str(skolemized)
+
+    def test_instance_pretty_groups_by_relation(self):
+        pretty = figure_1_instance().pretty()
+        assert pretty.count("\n") == 0  # single relation: one line
+        two_relations = Instance.build({"P": [("a",)], "Q": [("b",)]})
+        assert two_relations.pretty().count("\n") == 1
+
+
+class TestReportDataFlow:
+    def test_quasi_inverse_names_are_derived(self):
+        assert quasi_inverse(decomposition()).name == "QuasiInverse(Decomposition)"
+
+    def test_inverse_names_are_derived(self):
+        from repro.catalog import example_5_4
+
+        assert inverse(example_5_4()).name == "Inverse(Example5.4)"
+
+    def test_composed_names_join(self):
+        from repro.core.mapping import SchemaMapping
+
+        first = decomposition()
+        second = SchemaMapping.from_text(
+            first.target, Schema.of({"W": 2}), "Q(x, y) -> W(x, y)", name="Pick"
+        )
+        assert compose_skolem(first, second).name == "Decomposition∘Pick"

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example is executed in-process (fresh __main__ namespace) with
+stdout captured; assertions inside the scripts double as checks.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(SCRIPTS) >= 5
+    assert "quickstart.py" in SCRIPTS
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_faithfulness(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "sound:    True" in output
+    assert "faithful: True" in output
+
+
+def test_employee_reorg_preserves_certain_answers(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "employee_reorg.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "CHANGED" not in output
+    assert output.count("preserved") == 3
+
+
+def test_union_integration_enumerates_worlds(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "union_integration.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "8 possible worlds" in output
+    assert "faithful: True" in output
+
+
+def test_sql_export_matches_chase(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "sql_export.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "!=" not in output
+    assert output.count("==") == 3

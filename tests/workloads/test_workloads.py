@@ -1,0 +1,125 @@
+"""Unit tests for workload generators and universes."""
+
+import pytest
+
+from repro.datamodel.schemas import Schema
+from repro.workloads import (
+    instance_universe,
+    power_instances,
+    random_full_mapping,
+    random_ground_instance,
+    random_lav_mapping,
+)
+from repro.workloads.universes import UniverseTooLarge, all_possible_facts
+
+
+class TestRandomMappings:
+    def test_lav_generator_emits_lav(self):
+        for seed in range(10):
+            mapping = random_lav_mapping(seed)
+            assert mapping.is_lav()
+            assert mapping.source.is_disjoint_from(mapping.target)
+
+    def test_full_generator_emits_full(self):
+        for seed in range(10):
+            mapping = random_full_mapping(seed)
+            assert mapping.is_full() and mapping.is_tgd_mapping()
+
+    def test_seed_determinism(self):
+        assert random_lav_mapping(7) == random_lav_mapping(7)
+        assert random_full_mapping(7) == random_full_mapping(7)
+
+    def test_different_seeds_usually_differ(self):
+        assert random_lav_mapping(1) != random_lav_mapping(2)
+
+    def test_requested_tgd_count(self):
+        mapping = random_lav_mapping(0, n_tgds=5)
+        assert len(mapping.dependencies) == 5
+
+    def test_every_source_relation_used_when_enough_tgds(self):
+        mapping = random_lav_mapping(0, n_source=3, n_tgds=3)
+        used = {dep.premise.atoms[0].relation for dep in mapping.dependencies}
+        assert used == set(mapping.source.names())
+
+
+class TestRandomInvertibleMappings:
+    def test_copy_rules_present(self):
+        from repro.workloads import random_invertible_mapping
+
+        mapping = random_invertible_mapping(0, n_source=2)
+        copy_targets = {
+            f"{name}_copy" for name in mapping.source.names()
+        }
+        conclusions = {
+            atom.relation
+            for dep in mapping.dependencies
+            for atom in dep.disjuncts[0]
+        }
+        assert copy_targets <= conclusions
+
+    def test_constant_propagation_by_construction(self):
+        from repro.core.inverse import has_constant_propagation
+        from repro.workloads import random_invertible_mapping
+
+        for seed in range(5):
+            assert has_constant_propagation(random_invertible_mapping(seed))
+
+    def test_seed_determinism(self):
+        from repro.workloads import random_invertible_mapping
+
+        assert random_invertible_mapping(3) == random_invertible_mapping(3)
+
+
+class TestRandomInstances:
+    def test_instances_are_ground_and_valid(self):
+        mapping = random_lav_mapping(0)
+        instance = random_ground_instance(mapping.source, seed=1)
+        assert instance.is_ground()
+        instance.validate(mapping.source)
+
+    def test_seed_determinism(self):
+        schema = Schema.of({"P": 2})
+        left = random_ground_instance(schema, seed=3)
+        right = random_ground_instance(schema, seed=3)
+        assert left == right
+
+    def test_fact_budget_respected(self):
+        schema = Schema.of({"P": 2})
+        instance = random_ground_instance(schema, seed=0, n_facts=3, domain_size=5)
+        assert len(instance) <= 3
+
+
+class TestUniverses:
+    def test_all_possible_facts_counts(self):
+        schema = Schema.of({"P": 1, "Q": 2})
+        facts = all_possible_facts(schema, ["a", "b"])
+        assert len(facts) == 2 + 4
+
+    def test_universe_size(self):
+        schema = Schema.of({"P": 1})
+        universe = instance_universe(schema, ["a", "b"], max_facts=2)
+        # subsets of 2 facts: empty, {a}, {b}, {a,b}
+        assert len(universe) == 4
+
+    def test_exclude_empty(self):
+        schema = Schema.of({"P": 1})
+        universe = instance_universe(
+            schema, ["a"], max_facts=1, include_empty=False
+        )
+        assert all(instance for instance in universe)
+
+    def test_cap_enforced(self):
+        schema = Schema.of({"P": 2})
+        with pytest.raises(UniverseTooLarge):
+            list(power_instances(schema, ["a", "b", "c"], max_facts=5, cap=10))
+
+    def test_deterministic_order(self):
+        schema = Schema.of({"P": 1, "Q": 1})
+        first = instance_universe(schema, ["a"], max_facts=2)
+        second = instance_universe(schema, ["a"], max_facts=2)
+        assert first == second
+
+    def test_instances_are_ground(self):
+        schema = Schema.of({"P": 1})
+        for instance in instance_universe(schema, ["a", 1], max_facts=1):
+            assert instance.is_ground()
