@@ -6,12 +6,14 @@ the benchmark report (compare the n=… groups)."""
 
 import pytest
 
+from benchmarks.conftest import scale_params
+
 from repro.catalog import decomposition, example_4_5
 from repro.chase.standard import chase
 from repro.workloads import random_ground_instance
 
 
-@pytest.mark.parametrize("n_facts", [8, 32, 128])
+@pytest.mark.parametrize("n_facts", scale_params([8, 32, 128], [8, 32]))
 def test_chase_decomposition(benchmark, n_facts):
     mapping = decomposition()
     source = random_ground_instance(
@@ -21,7 +23,7 @@ def test_chase_decomposition(benchmark, n_facts):
     assert len(result.produced) >= 1
 
 
-@pytest.mark.parametrize("n_facts", [8, 32, 128])
+@pytest.mark.parametrize("n_facts", scale_params([8, 32, 128], [8, 32]))
 def test_chase_example_4_5(benchmark, n_facts):
     mapping = example_4_5()
     source = random_ground_instance(

@@ -1,0 +1,108 @@
+"""CI perf-regression gate for the bench-smoke job.
+
+Compares a pytest-benchmark JSON report against the committed
+baseline (``benchmarks/baseline_smoke.json``) and fails when any
+shared benchmark's mean time regressed by more than the threshold
+(default 2x — generous on purpose: CI runners are noisy and the gate
+is meant to catch algorithmic regressions, not jitter).  Benchmarks
+faster than ``--min-seconds`` in the baseline are compared against
+that floor instead, so sub-millisecond noise cannot trip the gate.
+
+Usage::
+
+    python benchmarks/check_regression.py results.json
+    python benchmarks/check_regression.py results.json --threshold 3.0
+
+Refreshing the baseline (after an intentional perf change)::
+
+    BENCH_QUICK=1 PYTHONPATH=src python -m pytest \
+        benchmarks/bench_scale_homomorphism.py benchmarks/bench_scale_chase.py \
+        --benchmark-only --benchmark-json=benchmarks/baseline_smoke.json
+    git add benchmarks/baseline_smoke.json
+
+and commit with a note on what changed.  The baseline should always
+be regenerated with ``BENCH_QUICK=1`` so its benchmark set matches
+what CI runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline_smoke.json"
+
+
+def load_means(path: Path) -> Dict[str, float]:
+    """``{fullname: mean seconds}`` from a pytest-benchmark JSON file."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot read benchmark JSON {path}: {error}")
+    return {
+        entry["fullname"]: entry["stats"]["mean"]
+        for entry in payload.get("benchmarks", [])
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="fresh benchmark JSON to gate")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline JSON (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when current mean > threshold * baseline mean (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.001,
+        help="baseline means below this floor are compared against the floor",
+    )
+    arguments = parser.parse_args(argv)
+
+    baseline = load_means(arguments.baseline)
+    current = load_means(arguments.current)
+    if not baseline:
+        print(f"warning: baseline {arguments.baseline} has no benchmarks")
+    regressions = []
+    for fullname in sorted(baseline):
+        if fullname not in current:
+            print(f"warning: benchmark missing from current run: {fullname}")
+            continue
+        reference = max(baseline[fullname], arguments.min_seconds)
+        ratio = current[fullname] / reference
+        status = "FAIL" if ratio > arguments.threshold else "ok"
+        print(
+            f"{status:>4}  {ratio:>6.2f}x  "
+            f"{baseline[fullname] * 1e3:>9.3f}ms -> {current[fullname] * 1e3:>9.3f}ms  "
+            f"{fullname}"
+        )
+        if ratio > arguments.threshold:
+            regressions.append((fullname, ratio))
+    for fullname in sorted(set(current) - set(baseline)):
+        print(f" new  {'':>7}  {current[fullname] * 1e3:>9.3f}ms  {fullname} (no baseline)")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"{arguments.threshold}x; see docstring to refresh the baseline "
+            "if this slowdown is intentional."
+        )
+        return 1
+    print(f"\nall {len(baseline)} baselined benchmarks within {arguments.threshold}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

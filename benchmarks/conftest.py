@@ -9,9 +9,23 @@ gate.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import run_experiment
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+
+def scale_params(full, quick):
+    """Parameter sweep for scale benchmarks.
+
+    CI's bench-smoke job sets ``BENCH_QUICK=1`` to run the reduced
+    sweep (the regression gate compares only those); local runs get
+    the full curve.
+    """
+    return quick if QUICK else full
 
 
 def run_and_verify(benchmark, experiment_id: str, rounds: int = 1):

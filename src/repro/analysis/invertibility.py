@@ -69,12 +69,24 @@ class InvertibilityReport:
 
 
 def invertibility_report(
-    mapping: SchemaMapping, universe: Sequence[Instance]
+    mapping: SchemaMapping,
+    universe: Sequence[Instance],
+    *,
+    workers: Optional[int] = None,
 ) -> InvertibilityReport:
-    """Run every invertibility criterion over *universe*."""
+    """Run every invertibility criterion over *universe*.
+
+    *workers* fans the bounded checkers out through the engine's
+    :class:`~repro.engine.parallel.ParallelUniverseRunner`; the report
+    is identical for every worker count.
+    """
     equivalence = SolutionEquivalence(mapping)
-    unique, violations = unique_solutions_property(mapping, universe)
-    subset = subset_property(mapping, equivalence, equivalence, universe)
+    unique, violations = unique_solutions_property(
+        mapping, universe, workers=workers
+    )
+    subset = subset_property(
+        mapping, equivalence, equivalence, universe, workers=workers
+    )
     return InvertibilityReport(
         mapping_name=mapping.name or str(mapping),
         is_lav=mapping.is_lav(),

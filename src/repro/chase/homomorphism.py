@@ -8,7 +8,11 @@ respects ``Constant(x)`` conjuncts and inequalities.
 The search is a deterministic backtracking join: atoms are ordered
 greedily (most-bound first, smallest relation first) and candidate
 facts are scanned in sorted order, so the first homomorphism found is
-stable across runs.
+stable across runs.  Candidates come from the engine's per-instance
+fact index — a hash probe on the most selective (relation, position,
+term) posting list — which skips facts a linear scan would only
+reject, without changing which homomorphisms are found or their
+order.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from typing import (
 from repro.datamodel.atoms import Atom
 from repro.datamodel.instances import Instance
 from repro.datamodel.terms import Constant, Null, Term, Variable
+from repro.engine.indexing import fact_index
 
 Assignment = Dict[Term, Term]
 
@@ -42,23 +47,45 @@ def _order_atoms(
     atoms: Sequence[Atom], target: Instance, bound: Set[Term]
 ) -> List[Atom]:
     """Greedy join order: prefer atoms with more bound positions, then
-    atoms over smaller relations, then lexicographic, for determinism."""
-    remaining = sorted(atoms)
-    ordered: List[Atom] = []
-    bound = set(bound)
-    while remaining:
-        def score(candidate: Atom) -> Tuple[int, int]:
-            unbound = sum(
-                1
-                for arg in candidate.args
-                if _is_mappable(arg) and arg not in bound
-            )
-            return (unbound, len(target.facts_for(candidate.relation)))
+    atoms over smaller relations, then lexicographic, for determinism.
 
-        best = min(remaining, key=lambda a: (score(a), a.sort_key()))
-        remaining.remove(best)
-        ordered.append(best)
-        bound.update(arg for arg in best.args if _is_mappable(arg))
+    Scores are maintained incrementally: extents and sort keys are
+    computed once, and binding a term decrements the unbound count of
+    each atom position it occurs in, so selection is a cheap tuple
+    comparison per candidate instead of a full rescore."""
+    remaining = sorted(atoms, key=Atom.sort_key)
+    count = len(remaining)
+    keys = [candidate.sort_key() for candidate in remaining]
+    extents = [
+        len(target.facts_for(candidate.relation)) for candidate in remaining
+    ]
+    bound = set(bound)
+    unbound_counts: List[int] = []
+    occurrences: Dict[Term, List[int]] = {}
+    for index, candidate in enumerate(remaining):
+        unbound = 0
+        for arg in candidate.args:
+            if _is_mappable(arg):
+                occurrences.setdefault(arg, []).append(index)
+                if arg not in bound:
+                    unbound += 1
+        unbound_counts.append(unbound)
+
+    ordered: List[Atom] = []
+    alive = [True] * count
+    for _ in range(count):
+        best = min(
+            (i for i in range(count) if alive[i]),
+            key=lambda i: (unbound_counts[i], extents[i], keys[i]),
+        )
+        alive[best] = False
+        ordered.append(remaining[best])
+        for arg in remaining[best].args:
+            if _is_mappable(arg) and arg not in bound:
+                bound.add(arg)
+                for position in occurrences[arg]:
+                    if alive[position]:
+                        unbound_counts[position] -= 1
     return ordered
 
 
@@ -123,13 +150,14 @@ def all_homomorphisms(
     if not _check_constraints(base, constant_vars, inequalities):
         return
     ordered = _order_atoms(atoms, target, set(base))
+    target_index = fact_index(target)
 
     def search(index: int, assignment: Assignment) -> Iterator[Assignment]:
         if index == len(ordered):
             yield dict(assignment)
             return
         current = ordered[index]
-        for fact in target.facts_for(current.relation):
+        for fact in target_index.candidates(current, assignment):
             extension = _match_atom(current, fact, assignment)
             if extension is None:
                 continue

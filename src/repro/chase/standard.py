@@ -186,9 +186,13 @@ def chase(
         return ChaseResult(final, final.difference(instance), tuple(steps))
 
     if stratified:
+        # The working instance (and therefore its fact index) is only
+        # rebuilt when a firing actually added facts, not per match.
+        working = instance
         for dependency in dependencies:
             for match in _sorted_matches(dependency, current):
-                working = Instance(frozenset(facts))
+                if len(working) != len(facts):
+                    working = Instance(frozenset(facts))
                 if _conclusion_satisfied(dependency, match, working):
                     continue
                 added = _apply(dependency, match, null_factory)
@@ -196,7 +200,7 @@ def chase(
                 steps.append(_record(dependency, match, added))
                 if len(steps) > max_steps:
                     raise ChaseError(f"chase exceeded {max_steps} steps")
-        final = Instance(frozenset(facts))
+        final = Instance(frozenset(facts)) if len(facts) != len(working) else working
         return ChaseResult(final, final.difference(instance), tuple(steps))
 
     # General (possibly recursive) case: recompute matches to fixpoint.

@@ -6,8 +6,16 @@ Usage::
     python -m repro.cli run E11               # one experiment (Figure 1)
     python -m repro.cli run E4 E5 --json      # machine-readable reports
     python -m repro.cli all                   # the whole suite
+    python -m repro.cli all --workers 4       # parallel bounded checks
+    python -m repro.cli run E2 --engine-stats # phase timings + cache stats
     python -m repro.cli export Decomposition --format sql
     python -m repro.cli export Example4.5 --format json
+
+Engine knobs (also settable via the ``REPRO_WORKERS`` environment
+variable): ``--workers`` fans bounded checks across a process pool,
+``--cache-size`` bounds the chase/verdict memo caches, and
+``--engine-stats`` prints per-phase timings and cache hit rates to
+stderr after the run.
 """
 
 from __future__ import annotations
@@ -128,6 +136,44 @@ def _command_export(mapping_name: str, output_format: str) -> int:
     return 0
 
 
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for bounded checks (default: REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="capacity of the engine's chase/verdict memo caches",
+    )
+    parser.add_argument(
+        "--engine-stats",
+        action="store_true",
+        help="print engine phase timings and cache stats to stderr",
+    )
+
+
+def _configure_engine(arguments: argparse.Namespace) -> None:
+    from repro.engine import resize_caches, set_default_workers
+
+    if getattr(arguments, "workers", None):
+        set_default_workers(arguments.workers)
+    if getattr(arguments, "cache_size", None):
+        resize_caches(arguments.cache_size)
+
+
+def _report_engine(arguments: argparse.Namespace) -> None:
+    if getattr(arguments, "engine_stats", False):
+        from repro.engine import engine_stats
+
+        print(engine_stats().render(), file=sys.stderr)
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -146,11 +192,13 @@ def main(argv: List[str] | None = None) -> int:
     run_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable reports"
     )
+    _add_engine_options(run_parser)
 
     all_parser = subparsers.add_parser("all", help="run the whole suite")
     all_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable reports"
     )
+    _add_engine_options(all_parser)
 
     export_parser = subparsers.add_parser(
         "export", help="export a catalog mapping as SQL or JSON"
@@ -163,11 +211,15 @@ def main(argv: List[str] | None = None) -> int:
     arguments = parser.parse_args(argv)
     if arguments.command == "list":
         return _command_list()
-    if arguments.command == "run":
-        return _command_run(arguments.experiments, arguments.json)
     if arguments.command == "export":
         return _command_export(arguments.mapping, arguments.output_format)
-    return _command_all(arguments.json)
+    _configure_engine(arguments)
+    try:
+        if arguments.command == "run":
+            return _command_run(arguments.experiments, arguments.json)
+        return _command_all(arguments.json)
+    finally:
+        _report_engine(arguments)
 
 
 if __name__ == "__main__":

@@ -31,6 +31,8 @@ from repro.core.mapping import (
     solutions_contained,
 )
 from repro.core.composition import composition_membership
+from repro.engine.instrumentation import engine_stats
+from repro.engine.parallel import ParallelUniverseRunner, get_shared
 
 
 class EquivalenceRelation(Protocol):
@@ -99,6 +101,27 @@ def _default_witnesses(universe: Sequence[Instance]) -> List[Instance]:
     return pool
 
 
+def _subset_property_task(
+    left: Instance,
+) -> List[Tuple[Instance, bool]]:
+    """Per-left-instance worker: ``(right, witnessed)`` for every
+    containment pair, in the serial iteration order."""
+    mapping, relation1, relation2, universe, witnesses = get_shared()
+    events: List[Tuple[Instance, bool]] = []
+    for right in universe:
+        if not solutions_contained(mapping, right, left):
+            continue  # only pairs with Sol(I2) ⊆ Sol(I1) matter
+        events.append(
+            (
+                right,
+                _has_subset_witness(
+                    mapping, relation1, relation2, left, right, witnesses
+                ),
+            )
+        )
+    return events
+
+
 def subset_property(
     mapping: SchemaMapping,
     relation1: EquivalenceRelation,
@@ -107,6 +130,7 @@ def subset_property(
     *,
     witness_universe: Optional[Sequence[Instance]] = None,
     stop_at_first_violation: bool = True,
+    workers: Optional[int] = None,
 ) -> SubsetPropertyReport:
     """Bounded check of the (∼1,∼2)-subset property (Definition 3.4).
 
@@ -114,24 +138,33 @@ def subset_property(
     for witnesses (I1', I2') in *witness_universe* (default: the
     universe closed under pairwise unions) with I1 ∼1 I1', I2 ∼2 I2'
     and I1' ⊆ I2'.
+
+    The outer loop fans out per left instance through the engine's
+    :class:`ParallelUniverseRunner` (*workers* defaults to the
+    engine-wide setting); results merge in input order, so the report
+    is identical for every worker count.
     """
+    universe = list(universe)
     witnesses = (
         list(witness_universe)
         if witness_universe is not None
         else _default_witnesses(universe)
     )
+    runner = ParallelUniverseRunner(workers)
+    shared = (mapping, relation1, relation2, universe, witnesses)
     checked = 0
     violations: List[Tuple[Instance, Instance]] = []
-    for left in universe:
-        for right in universe:
-            if not solutions_contained(mapping, right, left):
-                continue  # only pairs with Sol(I2) ⊆ Sol(I1) matter
-            checked += 1
-            if _has_subset_witness(mapping, relation1, relation2, left, right, witnesses):
-                continue
-            violations.append((left, right))
-            if stop_at_first_violation:
-                return SubsetPropertyReport(False, checked, tuple(violations))
+    with engine_stats().phase("check.subset_property"):
+        results = runner.map_iter(_subset_property_task, universe, shared=shared)
+        for left, events in zip(universe, results):
+            for right, witnessed in events:
+                checked += 1
+                if witnessed:
+                    continue
+                violations.append((left, right))
+                if stop_at_first_violation:
+                    results.close()
+                    return SubsetPropertyReport(False, checked, tuple(violations))
     return SubsetPropertyReport(not violations, checked, tuple(violations))
 
 
@@ -154,21 +187,39 @@ def _has_subset_witness(
     return False
 
 
+def _unique_solutions_task(index: int) -> List[Tuple[Instance, Instance]]:
+    """Per-left-index worker: ∼M-equivalent pairs (left, right) with
+    right after left in the universe order."""
+    mapping, ordered = get_shared()
+    left = ordered[index]
+    return [
+        (left, right)
+        for right in ordered[index + 1 :]
+        if left != right and data_exchange_equivalent(mapping, left, right)
+    ]
+
+
 def unique_solutions_property(
-    mapping: SchemaMapping, universe: Sequence[Instance]
+    mapping: SchemaMapping,
+    universe: Sequence[Instance],
+    *,
+    workers: Optional[int] = None,
 ) -> Tuple[bool, Tuple[Tuple[Instance, Instance], ...]]:
     """Bounded check of the unique-solutions property (from [3]).
 
     Returns (holds, violations): pairs of *distinct* instances from
     the universe with equal solution spaces.  A violation certifies
-    non-invertibility.
+    non-invertibility.  Fans out per left instance with deterministic
+    merge order.
     """
-    violations: List[Tuple[Instance, Instance]] = []
     ordered = list(universe)
-    for index, left in enumerate(ordered):
-        for right in ordered[index + 1 :]:
-            if left != right and data_exchange_equivalent(mapping, left, right):
-                violations.append((left, right))
+    runner = ParallelUniverseRunner(workers)
+    violations: List[Tuple[Instance, Instance]] = []
+    with engine_stats().phase("check.unique_solutions"):
+        for found in runner.map(
+            _unique_solutions_task, range(len(ordered)), shared=(mapping, ordered)
+        ):
+            violations.extend(found)
     return (not violations, tuple(violations))
 
 
@@ -196,6 +247,7 @@ def is_quasi_inverse(
     witness_universe: Optional[Sequence[Instance]] = None,
     max_nulls: int = 7,
     stop_at_first_mismatch: bool = True,
+    workers: Optional[int] = None,
 ) -> InverseCheckReport:
     """Bounded check that *candidate* is a quasi-inverse of *mapping*.
 
@@ -209,6 +261,7 @@ def is_quasi_inverse(
         equivalence,
         equivalence,
         universe,
+        workers=workers,
         witness_universe=witness_universe,
         max_nulls=max_nulls,
         stop_at_first_mismatch=stop_at_first_mismatch,
@@ -225,6 +278,7 @@ def is_generalized_inverse(
     witness_universe: Optional[Sequence[Instance]] = None,
     max_nulls: int = 7,
     stop_at_first_mismatch: bool = True,
+    workers: Optional[int] = None,
 ) -> InverseCheckReport:
     """Bounded check of Definition 3.3: is *candidate* a
     (∼1,∼2)-inverse of *mapping*?
@@ -236,49 +290,137 @@ def is_generalized_inverse(
     mismatch of kind ``"comp_only"`` is a definite refutation; one of
     kind ``"id_only"`` refutes up to the witness pool.
     """
+    universe = list(universe)
     witnesses = (
         list(witness_universe)
         if witness_universe is not None
         else _default_witnesses(universe)
     )
+    shared = (
+        mapping,
+        candidate,
+        relation1,
+        relation2,
+        universe,
+        witnesses,
+        max_nulls,
+    )
+    with engine_stats().phase("check.generalized_inverse"):
+        return _merge_inverse_events(
+            ParallelUniverseRunner(workers),
+            _generalized_inverse_task,
+            universe,
+            shared,
+            stop_at_first_mismatch,
+        )
 
-    def in_id_closure(left: Instance, right: Instance) -> bool:
-        for left_prime in witnesses:
-            if not relation1.related(left, left_prime):
+
+def _in_id_closure(
+    relation1: EquivalenceRelation,
+    relation2: EquivalenceRelation,
+    witnesses: Sequence[Instance],
+    left: Instance,
+    right: Instance,
+) -> bool:
+    for left_prime in witnesses:
+        if not relation1.related(left, left_prime):
+            continue
+        for right_prime in witnesses:
+            if left_prime.issubset(right_prime) and relation2.related(
+                right, right_prime
+            ):
+                return True
+    return False
+
+
+def _in_comp_closure(
+    mapping: SchemaMapping,
+    candidate: SchemaMapping,
+    relation1: EquivalenceRelation,
+    relation2: EquivalenceRelation,
+    witnesses: Sequence[Instance],
+    left: Instance,
+    right: Instance,
+    max_nulls: int,
+) -> bool:
+    for left_prime in witnesses:
+        if not relation1.related(left, left_prime):
+            continue
+        for right_prime in witnesses:
+            if not relation2.related(right, right_prime):
                 continue
-            for right_prime in witnesses:
-                if left_prime.issubset(right_prime) and relation2.related(
-                    right, right_prime
-                ):
-                    return True
-        return False
+            if composition_membership(
+                mapping, candidate, left_prime, right_prime, max_nulls=max_nulls
+            ):
+                return True
+    return False
 
-    def in_comp_closure(left: Instance, right: Instance) -> bool:
-        for left_prime in witnesses:
-            if not relation1.related(left, left_prime):
-                continue
-            for right_prime in witnesses:
-                if not relation2.related(right, right_prime):
-                    continue
-                if composition_membership(
-                    mapping, candidate, left_prime, right_prime, max_nulls=max_nulls
-                ):
-                    return True
-        return False
 
+_InverseEvents = Tuple[List[Tuple[Instance, bool, bool]], Optional[BaseException]]
+
+
+def _generalized_inverse_task(left: Instance) -> _InverseEvents:
+    """Per-left worker for :func:`is_generalized_inverse`: the two
+    closure memberships per right, in serial order.  An exception is
+    returned (not raised) with the events that preceded it, so the
+    merge can replay the serial control flow exactly."""
+    mapping, candidate, relation1, relation2, universe, witnesses, max_nulls = (
+        get_shared()
+    )
+    events: List[Tuple[Instance, bool, bool]] = []
+    for right in universe:
+        try:
+            in_id = _in_id_closure(relation1, relation2, witnesses, left, right)
+            in_comp = _in_comp_closure(
+                mapping, candidate, relation1, relation2, witnesses,
+                left, right, max_nulls,
+            )
+        except Exception as error:  # replayed in-order by the merge
+            return events, error
+        events.append((right, in_id, in_comp))
+    return events, None
+
+
+def _is_inverse_task(left: Instance) -> _InverseEvents:
+    """Per-left worker for :func:`is_inverse` (exact membership)."""
+    mapping, candidate, universe, max_nulls = get_shared()
+    events: List[Tuple[Instance, bool, bool]] = []
+    for right in universe:
+        try:
+            in_comp = composition_membership(
+                mapping, candidate, left, right, max_nulls=max_nulls
+            )
+        except Exception as error:
+            return events, error
+        events.append((right, left.issubset(right), in_comp))
+    return events, None
+
+
+def _merge_inverse_events(
+    runner: ParallelUniverseRunner,
+    task: Callable[[Instance], _InverseEvents],
+    universe: Sequence[Instance],
+    shared: Tuple,
+    stop_at_first_mismatch: bool,
+) -> InverseCheckReport:
+    """Fold per-left event streams into an :class:`InverseCheckReport`
+    exactly as the serial pair loop would."""
     checked = 0
     mismatches: List[Tuple[Instance, Instance, str]] = []
-    for left in universe:
-        for right in universe:
+    results = runner.map_iter(task, universe, shared=shared)
+    for left, (events, error) in zip(universe, results):
+        for right, in_id, in_comp in events:
             checked += 1
-            in_id = in_id_closure(left, right)
-            in_comp = in_comp_closure(left, right)
             if in_id == in_comp:
                 continue
             kind = "id_only" if in_id else "comp_only"
             mismatches.append((left, right, kind))
             if stop_at_first_mismatch:
+                results.close()
                 return InverseCheckReport(False, checked, tuple(mismatches))
+        if error is not None:
+            results.close()
+            raise error
     return InverseCheckReport(not mismatches, checked, tuple(mismatches))
 
 
@@ -289,6 +431,7 @@ def is_inverse(
     *,
     max_nulls: int = 7,
     stop_at_first_mismatch: bool = True,
+    workers: Optional[int] = None,
 ) -> InverseCheckReport:
     """Bounded check that *candidate* is an inverse of *mapping*.
 
@@ -297,19 +440,13 @@ def is_inverse(
     relations is checked pairwise over *universe*; both membership
     tests are exact, so any mismatch is a definite refutation.
     """
-    checked = 0
-    mismatches: List[Tuple[Instance, Instance, str]] = []
-    for left in universe:
-        for right in universe:
-            checked += 1
-            in_id = left.issubset(right)
-            in_comp = composition_membership(
-                mapping, candidate, left, right, max_nulls=max_nulls
-            )
-            if in_id == in_comp:
-                continue
-            kind = "id_only" if in_id else "comp_only"
-            mismatches.append((left, right, kind))
-            if stop_at_first_mismatch:
-                return InverseCheckReport(False, checked, tuple(mismatches))
-    return InverseCheckReport(not mismatches, checked, tuple(mismatches))
+    universe = list(universe)
+    shared = (mapping, candidate, universe, max_nulls)
+    with engine_stats().phase("check.is_inverse"):
+        return _merge_inverse_events(
+            ParallelUniverseRunner(workers),
+            _is_inverse_task,
+            universe,
+            shared,
+            stop_at_first_mismatch,
+        )

@@ -29,6 +29,14 @@ from repro.datamodel.schemas import Schema
 from repro.datamodel.terms import Variable
 from repro.dependencies.dependency import Dependency, LanguageFeatures, language_audit
 from repro.dependencies.parser import parse_dependencies
+from repro.engine.cache import (
+    cached_chase_result,
+    canonical_key,
+    chase_cache,
+    mapping_key,
+    verdict_cache,
+)
+from repro.engine.instrumentation import engine_stats
 
 
 class MappingError(ValueError):
@@ -129,16 +137,26 @@ def _require_tgds(mapping: SchemaMapping, operation: str) -> None:
         )
 
 
-@lru_cache(maxsize=8192)
 def universal_solution(mapping: SchemaMapping, instance: Instance) -> Instance:
     """chase_Sigma(I): a universal solution for *instance* under *mapping*.
 
-    Requires a tgd mapping and caches results, since the solution-space
-    relations below all reduce to chases plus homomorphism tests.
+    Requires a tgd mapping.  Results are memoized in the engine's
+    content-addressed chase cache: ground instances key by canonical
+    form (so isomorphic inputs share an entry), while instances
+    already containing nulls or variables key by their exact facts,
+    preserving the historical fresh-null naming of a direct chase.
     """
     _require_tgds(mapping, "universal_solution")
-    result = chase(instance, mapping.dependencies)
-    return result.instance.restrict_to(mapping.target)
+
+    def compute(source: Instance) -> Instance:
+        with engine_stats().phase("chase"):
+            result = chase(source, mapping.dependencies)
+        return result.instance.restrict_to(mapping.target)
+
+    if instance.is_ground():
+        return cached_chase_result(mapping, instance, compute)
+    key = ("exact", mapping_key(mapping), instance.facts)
+    return chase_cache.memoize(key, lambda: compute(instance))
 
 
 @lru_cache(maxsize=2048)
@@ -186,14 +204,30 @@ def solutions_contained(
     """Sol(M, inner) ⊆ Sol(M, outer)?
 
     Equivalent (for tgd mappings) to the existence of a homomorphism
-    chase(outer) -> chase(inner).
+    chase(outer) -> chase(inner).  Verdicts are memoized content-
+    addressed: the key is sound under independent renamings of either
+    side's nulls, because a homomorphism never constrains where a
+    null maps (even one shared between the two instances).
     """
-    return (
-        instance_homomorphism(
-            universal_solution(mapping, outer), universal_solution(mapping, inner)
-        )
-        is not None
+    key = (
+        "sol-contained",
+        mapping_key(mapping),
+        canonical_key(outer),
+        canonical_key(inner),
     )
+    hit, verdict = verdict_cache.get(key)
+    if hit:
+        return verdict
+    with engine_stats().phase("homomorphism"):
+        verdict = (
+            instance_homomorphism(
+                universal_solution(mapping, outer),
+                universal_solution(mapping, inner),
+            )
+            is not None
+        )
+    verdict_cache.put(key, verdict)
+    return verdict
 
 
 def data_exchange_equivalent(

@@ -12,21 +12,46 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.chase.disjunctive import disjunctive_chase
 from repro.chase.standard import NullFactory, chase
 from repro.datamodel.instances import Instance
-from repro.core.mapping import MappingError, SchemaMapping
+from repro.core.mapping import MappingError, SchemaMapping, universal_solution
+from repro.engine.parallel import ParallelUniverseRunner, get_shared
 
 
 def exchange(mapping: SchemaMapping, instance: Instance) -> Instance:
-    """U = chase_Sigma(I): forward data exchange with a tgd mapping."""
+    """U = chase_Sigma(I): forward data exchange with a tgd mapping.
+
+    The chase itself goes through the engine's content-addressed
+    cache (via :func:`~repro.core.mapping.universal_solution`), so
+    re-exchanging an instance the checkers have already chased is a
+    lookup.
+    """
     if not mapping.is_tgd_mapping():
         raise MappingError("forward exchange requires a tgd mapping")
     instance.validate(mapping.source)
-    result = chase(instance, mapping.dependencies)
-    return result.instance.restrict_to(mapping.target)
+    return universal_solution(mapping, instance)
+
+
+def _exchange_task(instance: Instance) -> Instance:
+    return exchange(get_shared(), instance)
+
+
+def exchange_many(
+    mapping: SchemaMapping,
+    instances: Iterable[Instance],
+    *,
+    workers: Optional[int] = None,
+) -> Tuple[Instance, ...]:
+    """Exchange a stream of source instances, optionally in parallel.
+
+    Results come back in input order regardless of worker count; with
+    ``workers=1`` (the default) this is a plain cached loop.
+    """
+    runner = ParallelUniverseRunner(workers)
+    return tuple(runner.map(_exchange_task, instances, shared=mapping))
 
 
 def reverse_exchange(

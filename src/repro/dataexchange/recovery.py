@@ -19,7 +19,7 @@ validate both over the catalog and random workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.chase.homomorphism import (
     instance_homomorphism,
@@ -28,6 +28,8 @@ from repro.chase.homomorphism import (
 from repro.datamodel.instances import Instance
 from repro.dataexchange.exchange import RoundTrip, round_trip
 from repro.core.mapping import SchemaMapping
+from repro.engine.instrumentation import engine_stats
+from repro.engine.parallel import ParallelUniverseRunner, get_shared
 
 
 @dataclass(frozen=True)
@@ -85,32 +87,59 @@ def is_faithful(
     return analyze_round_trip(mapping, reverse_mapping, instance).faithful
 
 
+def _round_trip_task(instance: Instance) -> Tuple[bool, bool]:
+    mapping, reverse_mapping = get_shared()
+    report = analyze_round_trip(mapping, reverse_mapping, instance)
+    return report.sound, report.faithful
+
+
+def _sweep(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    instances: Iterable[Instance],
+    keep: Callable[[Tuple[bool, bool]], bool],
+    workers: Optional[int],
+) -> Tuple[bool, Tuple[Instance, ...]]:
+    """Fan the Figure-1 round trip out over *instances* and collect,
+    in input order, those whose verdict fails *keep*."""
+    ordered = list(instances)
+    runner = ParallelUniverseRunner(workers)
+    with engine_stats().phase("check.round_trips"):
+        verdicts = runner.map(
+            _round_trip_task, ordered, shared=(mapping, reverse_mapping)
+        )
+    violators = tuple(
+        instance
+        for instance, verdict in zip(ordered, verdicts)
+        if not keep(verdict)
+    )
+    return (not violators, violators)
+
+
 def sound_on(
     mapping: SchemaMapping,
     reverse_mapping: SchemaMapping,
     instances: Iterable[Instance],
+    *,
+    workers: Optional[int] = None,
 ) -> Tuple[bool, Tuple[Instance, ...]]:
     """Check soundness over many instances; returns (ok, violators)."""
-    violators = tuple(
-        instance
-        for instance in instances
-        if not is_sound(mapping, reverse_mapping, instance)
+    return _sweep(
+        mapping, reverse_mapping, instances, lambda verdict: verdict[0], workers
     )
-    return (not violators, violators)
 
 
 def faithful_on(
     mapping: SchemaMapping,
     reverse_mapping: SchemaMapping,
     instances: Iterable[Instance],
+    *,
+    workers: Optional[int] = None,
 ) -> Tuple[bool, Tuple[Instance, ...]]:
     """Check faithfulness over many instances; returns (ok, violators)."""
-    violators = tuple(
-        instance
-        for instance in instances
-        if not is_faithful(mapping, reverse_mapping, instance)
+    return _sweep(
+        mapping, reverse_mapping, instances, lambda verdict: verdict[1], workers
     )
-    return (not violators, violators)
 
 
 def recover(

@@ -56,7 +56,13 @@ class Atom:
         return Atom(self.relation, tuple(mapping.get(arg, arg) for arg in self.args))
 
     def sort_key(self):
-        return (self.relation, tuple(arg.sort_key() for arg in self.args))
+        # computed once per atom: sorting facts is the hot path of
+        # instance construction and canonicalization
+        key = self.__dict__.get("_sort_key")
+        if key is None:
+            key = (self.relation, tuple(arg.sort_key() for arg in self.args))
+            object.__setattr__(self, "_sort_key", key)
+        return key
 
     def __lt__(self, other: "Atom") -> bool:
         return self.sort_key() < other.sort_key()

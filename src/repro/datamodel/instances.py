@@ -42,7 +42,10 @@ class Instance:
         grouped: Dict[str, List[Atom]] = {}
         for fact in self.facts:
             grouped.setdefault(fact.relation, []).append(fact)
-        index = {name: tuple(sorted(atoms)) for name, atoms in grouped.items()}
+        index = {
+            name: tuple(sorted(atoms, key=Atom.sort_key))
+            for name, atoms in grouped.items()
+        }
         object.__setattr__(self, "_by_relation", index)
 
     # -- construction -------------------------------------------------

@@ -30,7 +30,11 @@ class Constant:
     _KIND_RANK = 0
 
     def sort_key(self) -> Tuple[int, str]:
-        return (self._KIND_RANK, _value_key(self.value))
+        key = self.__dict__.get("_sort_key")
+        if key is None:
+            key = (self._KIND_RANK, _value_key(self.value))
+            object.__setattr__(self, "_sort_key", key)
+        return key
 
     def __lt__(self, other: "Term") -> bool:
         return self.sort_key() < other.sort_key()
@@ -55,7 +59,11 @@ class Null:
     _KIND_RANK = 1
 
     def sort_key(self) -> Tuple[int, str]:
-        return (self._KIND_RANK, _value_key(self.name))
+        key = self.__dict__.get("_sort_key")
+        if key is None:
+            key = (self._KIND_RANK, _value_key(self.name))
+            object.__setattr__(self, "_sort_key", key)
+        return key
 
     def __lt__(self, other: "Term") -> bool:
         return self.sort_key() < other.sort_key()
@@ -76,7 +84,11 @@ class Variable:
     _KIND_RANK = 2
 
     def sort_key(self) -> Tuple[int, str]:
-        return (self._KIND_RANK, _value_key(self.name))
+        key = self.__dict__.get("_sort_key")
+        if key is None:
+            key = (self._KIND_RANK, _value_key(self.name))
+            object.__setattr__(self, "_sort_key", key)
+        return key
 
     def __lt__(self, other: "Term") -> bool:
         return self.sort_key() < other.sort_key()

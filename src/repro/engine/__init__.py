@@ -1,0 +1,72 @@
+"""The shared execution layer for all bounded model checking.
+
+Everything the library verifies mechanically — subset properties,
+inverse checks, soundness/faithfulness sweeps — reduces to chases
+plus homomorphism tests fanned out over bounded instance universes.
+This package concentrates the engineering that makes those loops
+fast:
+
+* :mod:`repro.engine.indexing` — per-instance fact indexes so the
+  homomorphism join probes ``(relation, position, term)`` posting
+  lists instead of scanning relation extents;
+* :mod:`repro.engine.cache` — content-addressed memoization of chase
+  results and verdicts under canonical (isomorphism-respecting)
+  instance keys, with hit/miss counters;
+* :mod:`repro.engine.parallel` — the :class:`ParallelUniverseRunner`
+  that chunks universe streams across a ``multiprocessing`` pool with
+  deterministic merge order and a serial fallback;
+* :mod:`repro.engine.instrumentation` — per-phase timings and
+  throughput counters surfaced by the CLI and benchmarks.
+
+The package depends only on :mod:`repro.datamodel`; the chase, core,
+analysis, and data-exchange layers all route through it.
+"""
+
+from repro.engine.cache import (
+    CacheStats,
+    MemoCache,
+    all_cache_stats,
+    cached_chase_result,
+    canonical_key,
+    canonicalize_instance,
+    chase_cache,
+    mapping_key,
+    reset_all_caches,
+    resize_caches,
+    verdict_cache,
+)
+from repro.engine.indexing import FactIndex, fact_index
+from repro.engine.instrumentation import (
+    EngineStats,
+    engine_stats,
+    reset_engine_stats,
+)
+from repro.engine.parallel import (
+    ParallelUniverseRunner,
+    default_workers,
+    fork_available,
+    set_default_workers,
+)
+
+__all__ = [
+    "CacheStats",
+    "EngineStats",
+    "FactIndex",
+    "MemoCache",
+    "ParallelUniverseRunner",
+    "all_cache_stats",
+    "cached_chase_result",
+    "canonical_key",
+    "canonicalize_instance",
+    "chase_cache",
+    "default_workers",
+    "engine_stats",
+    "fact_index",
+    "fork_available",
+    "mapping_key",
+    "reset_all_caches",
+    "reset_engine_stats",
+    "resize_caches",
+    "set_default_workers",
+    "verdict_cache",
+]

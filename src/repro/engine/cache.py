@@ -1,0 +1,255 @@
+"""Content-addressed memoization for chase results and verdicts.
+
+Bounded checkers issue thousands of near-identical chase and
+homomorphism calls: ``subset_property`` alone asks for ``chase(I)``
+and for ∼M verdicts on the same instance pairs over and over while
+sweeping a universe.  The caches here key those calls by *content* —
+a canonical form of the instance in which labeled nulls and logic
+variables are renamed to position-derived placeholders — so that
+
+* repeated calls on the same instance hit regardless of which object
+  identity carries it, and
+* isomorphic instances (equal up to null/variable renaming) share one
+  entry, while genuinely distinct instances never collide: the
+  canonical renaming is a bijection, so equal canonical forms always
+  certify an isomorphism (the key is sound by construction; it is
+  complete for renamings that preserve the relative order of facts).
+
+Every cache registers itself for the instrumentation layer, which
+reports hits, misses, and evictions.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.datamodel.atoms import Atom
+from repro.datamodel.instances import Instance
+from repro.datamodel.terms import Constant, Null, Term, Variable
+
+
+@dataclass
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    name: str
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def render(self) -> str:
+        return (
+            f"cache {self.name:<16} {self.hits:>8} hits  {self.misses:>8} misses  "
+            f"({self.hit_rate:>6.1%})  size {self.size}/{self.maxsize}"
+        )
+
+
+_REGISTRY: List["MemoCache"] = []
+
+
+class MemoCache:
+    """A bounded LRU map with hit/miss/eviction counters."""
+
+    def __init__(self, name: str, maxsize: int = 65_536) -> None:
+        self.name = name
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        _REGISTRY.append(self)
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return False, None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def memoize(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        hit, value = self.get(key)
+        if hit:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            self.name,
+            self.hits,
+            self.misses,
+            self.evictions,
+            len(self._data),
+            self.maxsize,
+        )
+
+
+def all_cache_stats() -> List[CacheStats]:
+    return [cache.stats() for cache in _REGISTRY]
+
+
+def reset_all_caches() -> None:
+    for cache in _REGISTRY:
+        cache.clear()
+
+
+def resize_caches(maxsize: int) -> None:
+    """Set every engine cache's capacity (the CLI's --cache-size knob)."""
+    for cache in _REGISTRY:
+        cache.maxsize = maxsize
+        while len(cache._data) > maxsize:
+            cache._data.popitem(last=False)
+            cache.evictions += 1
+
+
+# -- canonical forms ------------------------------------------------------
+
+_CANON_PREFIX = "__c"
+
+
+def canonicalize_instance(
+    instance: Instance,
+) -> Tuple[Instance, Dict[Term, Term]]:
+    """Rename nulls and variables of *instance* to canonical placeholders.
+
+    Facts are ordered by their constant *shape* (relation plus the
+    pattern of rigid constants), and mappable terms are numbered by
+    first occurrence in that order.  Returns the canonical instance
+    and the forward renaming; for ground instances the renaming is
+    empty and the instance is returned unchanged.
+    """
+    if instance.is_ground():
+        return instance, {}
+
+    def shape(fact: Atom) -> Tuple:
+        pattern = tuple(
+            (0, arg.sort_key()) if isinstance(arg, Constant) else (1,)
+            for arg in fact.args
+        )
+        return (fact.relation, pattern, fact.sort_key())
+
+    forward: Dict[Term, Term] = {}
+    for fact in sorted(instance.facts, key=shape):
+        for arg in fact.args:
+            if isinstance(arg, Constant) or arg in forward:
+                continue
+            label = f"{_CANON_PREFIX}{len(forward)}"
+            forward[arg] = (
+                Null(label) if isinstance(arg, Null) else Variable(label)
+            )
+    return instance.substitute(forward), forward
+
+
+def canonical_key(instance: Instance) -> FrozenSet[Atom]:
+    """The content-addressed key of *instance* (its canonical fact set)."""
+    canonical, _ = canonicalize_instance(instance)
+    return canonical.facts
+
+
+# -- mapping keys ---------------------------------------------------------
+
+_MAPPING_KEYS: "weakref.WeakKeyDictionary[Any, Hashable]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def mapping_key(mapping: Any) -> Hashable:
+    """A content key for a schema mapping: canonical dependencies plus
+    the target relations (which bound the chase output restriction)."""
+    key = _MAPPING_KEYS.get(mapping)
+    if key is None:
+        key = (
+            tuple(dep.canonical_form() for dep in mapping.dependencies),
+            tuple(mapping.target.relations),
+        )
+        _MAPPING_KEYS[mapping] = key
+    return key
+
+
+# -- the chase cache ------------------------------------------------------
+
+chase_cache = MemoCache("chase", maxsize=16_384)
+verdict_cache = MemoCache("verdict", maxsize=262_144)
+
+
+def _translate_back(
+    cached: Instance, instance: Instance, forward: Dict[Term, Term]
+) -> Instance:
+    """Rename a cached chase result to fit the original *instance*.
+
+    Canonical placeholders map back through the inverse of *forward*;
+    fresh nulls invented by the chase are renamed apart from the
+    original instance's null and variable names when they clash.
+    """
+    substitution: Dict[Term, Term] = {
+        canonical: original for original, canonical in forward.items()
+    }
+    taken = {
+        term.name
+        for term in instance.active_domain()
+        if isinstance(term, (Null, Variable))
+    }
+    counter = 0
+    for null in sorted(cached.nulls()):
+        if null in substitution:
+            continue
+        if null.name in taken:
+            while f"N{counter}" in taken:
+                counter += 1
+            fresh = Null(f"N{counter}")
+            taken.add(fresh.name)
+            substitution[null] = fresh
+        else:
+            taken.add(null.name)
+    return cached.substitute(substitution)
+
+
+def cached_chase_result(
+    mapping: Any,
+    instance: Instance,
+    compute: Callable[[Instance], Instance],
+) -> Instance:
+    """Memoize ``compute(instance)`` under the canonical content key.
+
+    *compute* must be a pure function of the instance (given the
+    mapping) returning an instance whose nulls either come from the
+    input or are chase-fresh.  On an isomorphic hit the cached result
+    is renamed back onto the caller's terms, so the returned instance
+    is always one *compute* could have produced directly.
+    """
+    canonical, forward = canonicalize_instance(instance)
+    key = (mapping_key(mapping), canonical.facts)
+    hit, cached = chase_cache.get(key)
+    if not hit:
+        cached = compute(canonical)
+        chase_cache.put(key, cached)
+    if not forward:
+        return cached
+    return _translate_back(cached, instance, forward)

@@ -1,0 +1,100 @@
+"""Lightweight engine instrumentation.
+
+Every bounded check in the library decomposes into the same few
+phases — chase, homomorphism search, verdict memoization, universe
+fan-out — and the engine keeps one global :class:`EngineStats`
+accumulator so the CLI and the benchmark harness can report where the
+time went without threading a stats object through every call.
+
+The accumulator is process-local by design: parallel workers keep
+their own counters, and only the parent's numbers (which include the
+fan-out wall-clock) are reported.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated wall-clock and call count for one named phase."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    def record(self, elapsed: float) -> None:
+        self.calls += 1
+        self.seconds += elapsed
+
+
+@dataclass
+class EngineStats:
+    """Per-process counters for the bounded-checking engine."""
+
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    instances_processed: int = 0
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a phase; nests safely (each level accumulates its own)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.phases.setdefault(name, PhaseStats()).record(elapsed)
+
+    def count_instances(self, n: int = 1) -> None:
+        self.instances_processed += n
+
+    def instances_per_second(self, phase: str) -> float:
+        stats = self.phases.get(phase)
+        if stats is None or stats.seconds == 0:
+            return 0.0
+        return self.instances_processed / stats.seconds
+
+    def reset(self) -> None:
+        self.phases.clear()
+        self.instances_processed = 0
+
+    def snapshot(self) -> Dict[str, Tuple[int, float]]:
+        """``{phase: (calls, seconds)}`` for machine-readable reports."""
+        return {name: (s.calls, s.seconds) for name, s in sorted(self.phases.items())}
+
+    def render(self) -> str:
+        """A compact multi-line report (phases, caches, throughput)."""
+        from repro.engine.cache import all_cache_stats
+
+        lines: List[str] = ["engine stats:"]
+        for name, stats in sorted(self.phases.items()):
+            lines.append(
+                f"  phase {name:<22} {stats.calls:>8} calls  "
+                f"{stats.seconds:>9.3f}s"
+            )
+        if self.instances_processed:
+            lines.append(f"  instances processed      {self.instances_processed:>8}")
+        for cache_stats in all_cache_stats():
+            lines.append(f"  {cache_stats.render()}")
+        if len(lines) == 1:
+            lines.append("  (no engine activity recorded)")
+        return "\n".join(lines)
+
+
+GLOBAL_STATS = EngineStats()
+
+
+def engine_stats() -> EngineStats:
+    """The process-global stats accumulator."""
+    return GLOBAL_STATS
+
+
+def reset_engine_stats() -> None:
+    """Clear phase timings, instance counters, and cache counters."""
+    from repro.engine.cache import reset_all_caches
+
+    GLOBAL_STATS.reset()
+    reset_all_caches()

@@ -1,0 +1,149 @@
+"""Deterministic parallel fan-out over instance universes.
+
+A :class:`ParallelUniverseRunner` chunks a stream of work items (most
+often instances from :func:`repro.workloads.power_instances`, or the
+per-instance tasks of a bounded checker) across a ``multiprocessing``
+pool and merges results back in input order, so every caller sees
+exactly the sequence a serial loop would produce.
+
+Three rules keep this safe and reproducible:
+
+* the pool uses the ``fork`` start method and is created *after* the
+  shared context is published, so workers inherit large read-only
+  payloads (universes, witness pools, mappings) for free instead of
+  pickling them per task;
+* results are collected with ``imap`` (ordered) — never
+  ``imap_unordered`` — so merge order is the input order regardless
+  of worker scheduling;
+* with ``workers <= 1``, on platforms without ``fork``, or inside an
+  existing worker, the runner degrades to a plain serial loop over
+  the same task function, which is how serial/parallel equivalence is
+  guaranteed by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
+
+from repro.engine.instrumentation import engine_stats
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+_SHARED: Any = None
+_IN_WORKER = False
+
+
+def get_shared() -> Any:
+    """The context published by the current :meth:`map` call (task
+    functions running in workers read their big arguments here)."""
+    return _SHARED
+
+
+def _worker_init(shared: Any) -> None:
+    global _SHARED, _IN_WORKER
+    _SHARED = shared
+    _IN_WORKER = True
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_workers() -> int:
+    """The engine-wide default worker count.
+
+    Controlled by ``REPRO_WORKERS`` (the CLI's ``--workers`` flag sets
+    it); defaults to 1 — parallelism is opt-in because fork-based
+    fan-out only pays off on universes large enough to amortize it.
+    """
+    value = os.environ.get("REPRO_WORKERS", "1")
+    try:
+        return max(1, int(value))
+    except ValueError:
+        return 1
+
+
+def set_default_workers(workers: int) -> None:
+    os.environ["REPRO_WORKERS"] = str(max(1, int(workers)))
+
+
+class ParallelUniverseRunner:
+    """Maps a task function over items with deterministic merge order."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self.workers = default_workers() if workers is None else max(1, int(workers))
+        self.chunk_size = chunk_size
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1 and fork_available() and not _IN_WORKER
+
+    def map(
+        self,
+        task: Callable[[Item], Result],
+        items: Iterable[Item],
+        *,
+        shared: Any = None,
+    ) -> List[Result]:
+        """``[task(item) for item in items]`` with optional fan-out.
+
+        *task* must be a module-level (picklable) callable when the
+        runner is parallel; *shared* is published through
+        :func:`get_shared` in both modes.  Results always come back in
+        input order.
+        """
+        return list(self.map_iter(task, items, shared=shared))
+
+    def map_iter(
+        self,
+        task: Callable[[Item], Result],
+        items: Iterable[Item],
+        *,
+        shared: Any = None,
+    ) -> Iterator[Result]:
+        """Lazy :meth:`map`: results stream back in input order.
+
+        In serial mode each task runs only when its result is
+        consumed, so a caller that stops early (a checker returning at
+        the first violation) does no extra work; in parallel mode the
+        pool races ahead but abandoning the iterator tears it down.
+        """
+        global _SHARED
+        stats = engine_stats()
+        previous = _SHARED
+        _SHARED = shared
+        count = 0
+        try:
+            if not self.parallel:
+                with stats.phase("universe.serial"):
+                    for item in items:
+                        yield task(item)
+                        count += 1
+                return
+            materialized: Sequence[Item] = (
+                items if isinstance(items, (list, tuple)) else list(items)
+            )
+            chunk = self.chunk_size or max(
+                1, len(materialized) // (self.workers * 4)
+            )
+            context = multiprocessing.get_context("fork")
+            with stats.phase("universe.parallel"):
+                with context.Pool(
+                    processes=self.workers,
+                    initializer=_worker_init,
+                    initargs=(shared,),
+                ) as pool:
+                    for result in pool.imap(task, materialized, chunksize=chunk):
+                        yield result
+                        count += 1
+        finally:
+            _SHARED = previous
+            stats.count_instances(count)

@@ -7,9 +7,14 @@ from repro.workloads.random_workloads import (
     random_invertible_mapping,
     random_lav_mapping,
 )
-from repro.workloads.universes import instance_universe, power_instances
+from repro.workloads.universes import (
+    UniverseTooLarge,
+    instance_universe,
+    power_instances,
+)
 
 __all__ = [
+    "UniverseTooLarge",
     "instance_universe",
     "power_instances",
     "random_full_mapping",

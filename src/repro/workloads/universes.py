@@ -12,6 +12,7 @@ helpers enforce explicit caps.
 from __future__ import annotations
 
 from itertools import combinations, product
+from math import comb
 from typing import Iterator, List, Sequence, Tuple, Union
 
 from repro.datamodel.atoms import Atom
@@ -51,20 +52,26 @@ def power_instances(
 
     Instances are yielded in a deterministic order: by fact count,
     then lexicographically.  Raises :class:`UniverseTooLarge` when the
-    enumeration would exceed *cap* instances.
+    enumeration would exceed *cap* instances — *eagerly*, before the
+    first instance is yielded: the universe size is sum C(n, k) over
+    the requested sizes, which is computed up front so callers fail
+    fast instead of mid-iteration after wasted work.
     """
     facts = all_possible_facts(schema, domain)
-    emitted = 0
     sizes = range(0 if include_empty else 1, max_facts + 1)
-    for size in sizes:
-        for chosen in combinations(facts, size):
-            emitted += 1
-            if emitted > cap:
-                raise UniverseTooLarge(
-                    f"universe over {schema} with |domain|={len(domain)} and "
-                    f"max_facts={max_facts} exceeds cap={cap}"
-                )
-            yield Instance.of(chosen)
+    total = sum(comb(len(facts), size) for size in sizes)
+    if total > cap:
+        raise UniverseTooLarge(
+            f"universe over {schema} with |domain|={len(domain)} and "
+            f"max_facts={max_facts} has {total} instances, exceeding cap={cap}"
+        )
+
+    def generate() -> Iterator[Instance]:
+        for size in sizes:
+            for chosen in combinations(facts, size):
+                yield Instance.of(chosen)
+
+    return generate()
 
 
 def instance_universe(

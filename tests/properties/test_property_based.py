@@ -12,7 +12,7 @@ from repro.chase.homomorphism import (
     instance_homomorphism,
     is_homomorphically_equivalent,
 )
-from repro.core.composition import composition_membership
+from repro.core.composition import CompositionBudgetError, composition_membership
 from repro.core.mapping import (
     data_exchange_equivalent,
     is_solution,
@@ -145,7 +145,11 @@ def test_composition_membership_monotone_in_right_argument(
     extra = random_ground_instance(
         mapping.source, seed=seed_extra, n_facts=2, domain_size=2
     )
-    if composition_membership(mapping, reverse, source, source, max_nulls=8):
+    try:
+        member = composition_membership(mapping, reverse, source, source, max_nulls=8)
+    except CompositionBudgetError:
+        return  # random mapping blew the null budget; the law is vacuous
+    if member:
         assert composition_membership(
             mapping, reverse, source, source.union(extra), max_nulls=8
         )
