@@ -27,11 +27,21 @@ from repro.core.framework import (
 )
 from repro.core.inverse import has_constant_propagation
 from repro.core.mapping import SchemaMapping
+from repro.engine.budget import COVERAGE_EXHAUSTIVE, Budget, worst_coverage
 
 
 @dataclass(frozen=True)
 class InvertibilityReport:
-    """Aggregated invertibility evidence for one mapping."""
+    """Aggregated invertibility evidence for one mapping.
+
+    ``coverage`` is the worst coverage among the bounded sweeps the
+    report aggregates: ``"exhaustive"`` when every check examined its
+    full universe, otherwise the most degraded status
+    (``"budget"`` < ``"deadline"`` < ``"faulted"``).  Violation-based
+    verdicts (:attr:`certainly_not_invertible`,
+    :attr:`certainly_not_quasi_invertible`) remain definite even under
+    partial coverage; passes only speak for the instances checked.
+    """
 
     mapping_name: str
     is_lav: bool
@@ -40,6 +50,12 @@ class InvertibilityReport:
     unique_solutions: bool
     unique_solutions_witness: Optional[Tuple[Instance, Instance]]
     quasi_subset_property: SubsetPropertyReport
+    coverage: str = COVERAGE_EXHAUSTIVE
+    instances_checked: int = 0
+
+    @property
+    def exhaustive(self) -> bool:
+        return self.coverage == COVERAGE_EXHAUSTIVE
 
     @property
     def certainly_not_invertible(self) -> bool:
@@ -73,19 +89,23 @@ def invertibility_report(
     universe: Sequence[Instance],
     *,
     workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> InvertibilityReport:
     """Run every invertibility criterion over *universe*.
 
     *workers* fans the bounded checkers out through the engine's
     :class:`~repro.engine.parallel.ParallelUniverseRunner`; the report
-    is identical for every worker count.
+    is identical for every worker count.  *budget* (default: ambient,
+    else environment) is shared by the bounded sweeps; a trip degrades
+    the report's ``coverage`` instead of raising.
     """
     equivalence = SolutionEquivalence(mapping)
-    unique, violations = unique_solutions_property(
-        mapping, universe, workers=workers
+    unique_verdict = unique_solutions_property(
+        mapping, universe, workers=workers, budget=budget
     )
+    unique, violations = unique_verdict
     subset = subset_property(
-        mapping, equivalence, equivalence, universe, workers=workers
+        mapping, equivalence, equivalence, universe, workers=workers, budget=budget
     )
     return InvertibilityReport(
         mapping_name=mapping.name or str(mapping),
@@ -95,4 +115,7 @@ def invertibility_report(
         unique_solutions=unique,
         unique_solutions_witness=violations[0] if violations else None,
         quasi_subset_property=subset,
+        coverage=worst_coverage(unique_verdict.coverage, subset.coverage),
+        instances_checked=unique_verdict.instances_checked
+        + subset.instances_checked,
     )

@@ -11,14 +11,14 @@ target facts, conclusions add source facts — the tree is finite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.chase.homomorphism import Assignment, all_homomorphisms, find_homomorphism
 from repro.chase.standard import ChaseError, NullFactory
-from repro.datamodel.atoms import Atom
 from repro.datamodel.instances import Instance
 from repro.datamodel.terms import Term
 from repro.dependencies.dependency import Dependency
+from repro.engine.budget import current_budget
 
 
 @dataclass
@@ -124,11 +124,14 @@ def disjunctive_chase(
             prefix="M", taken=(null.name for null in instance.nulls())
         )
 
+    budget = current_budget()
     root = DisjunctiveChaseNode(instance)
     node_count = 1
     stack: List[DisjunctiveChaseNode] = [root]
     while stack:
         node = stack.pop()
+        if budget is not None:
+            budget.charge_chase_steps()
         applicable = _find_applicable(dependencies, node.instance)
         if applicable is None:
             continue
@@ -150,7 +153,9 @@ def disjunctive_chase(
             node_count += 1
             if node_count > max_nodes:
                 raise ChaseError(
-                    f"disjunctive chase exceeded {max_nodes} nodes"
+                    f"disjunctive chase exceeded {max_nodes} nodes",
+                    kind="chase_nodes",
+                    limit=max_nodes,
                 )
         # Visit children left-to-right (stack is LIFO, so push reversed).
         stack.extend(reversed(node.children))

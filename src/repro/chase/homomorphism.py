@@ -33,6 +33,7 @@ from typing import (
 from repro.datamodel.atoms import Atom
 from repro.datamodel.instances import Instance
 from repro.datamodel.terms import Constant, Null, Term, Variable
+from repro.engine.budget import current_budget
 from repro.engine.indexing import fact_index
 
 Assignment = Dict[Term, Term]
@@ -141,6 +142,11 @@ def all_homomorphisms(
     covering every mappable term occurring in *atoms* (plus the fixed
     pairs), yielded in a deterministic order.
     """
+    budget = current_budget()
+    if budget is not None:
+        # One deadline/RSS probe per search keeps even a sweep that
+        # never fires a chase step responsive to its budget.
+        budget.check()
     constant_vars = frozenset(constant_vars)
     inequalities = frozenset(
         (left, right) if not right < left else (right, left)

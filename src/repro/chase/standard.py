@@ -18,18 +18,16 @@ dependency sets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.chase.homomorphism import Assignment, all_homomorphisms, find_homomorphism
 from repro.datamodel.atoms import Atom
 from repro.datamodel.instances import Instance
-from repro.datamodel.terms import Null, Term, Variable
+from repro.datamodel.terms import Null, Term
 from repro.dependencies.dependency import Dependency
-
-
-class ChaseError(RuntimeError):
-    """Raised when the chase cannot proceed (disjunctions, step bound)."""
+from repro.engine.budget import current_budget
+from repro.errors import ChaseError
 
 
 class NullFactory:
@@ -127,7 +125,12 @@ def chase(
     :func:`repro.chase.disjunctive.disjunctive_chase` otherwise).
     Returns the combined instance, the produced (new) facts, and the
     step trace.  Raises :class:`ChaseError` when *max_steps* firings
-    do not reach a fixpoint.
+    do not reach a fixpoint.  When a :class:`~repro.engine.budget.Budget`
+    is ambient (see :func:`~repro.engine.budget.use_budget`), every
+    firing is charged against its chase-step cap and wall-clock
+    deadline, so a runaway chase stops mid-run with
+    :class:`~repro.errors.BudgetExceeded` instead of holding a sweep
+    hostage.
 
     With ``oblivious=True`` the chase fires on *every* premise match,
     never checking whether the conclusion is already satisfied (the
@@ -149,6 +152,7 @@ def chase(
         null_factory = NullFactory(
             taken=(null.name for null in instance.nulls())
         )
+    budget = current_budget()
 
     # When no conclusion relation feeds back into any premise relation
     # (the s-t tgd case), premise matches are fixed once and for all.
@@ -177,11 +181,17 @@ def chase(
                     "inequality premises"
                 )
             for match in _sorted_matches(dependency, current):
+                if budget is not None:
+                    budget.charge_chase_steps()
                 added = _apply(dependency, match, null_factory)
                 facts.update(added)
                 steps.append(_record(dependency, match, added))
                 if len(steps) > max_steps:
-                    raise ChaseError(f"chase exceeded {max_steps} steps")
+                    raise ChaseError(
+                        f"chase exceeded {max_steps} steps",
+                        kind="chase_steps",
+                        limit=max_steps,
+                    )
         final = Instance(frozenset(facts))
         return ChaseResult(final, final.difference(instance), tuple(steps))
 
@@ -191,15 +201,23 @@ def chase(
         working = instance
         for dependency in dependencies:
             for match in _sorted_matches(dependency, current):
+                if budget is not None:
+                    budget.check()
                 if len(working) != len(facts):
                     working = Instance(frozenset(facts))
                 if _conclusion_satisfied(dependency, match, working):
                     continue
+                if budget is not None:
+                    budget.charge_chase_steps()
                 added = _apply(dependency, match, null_factory)
                 facts.update(added)
                 steps.append(_record(dependency, match, added))
                 if len(steps) > max_steps:
-                    raise ChaseError(f"chase exceeded {max_steps} steps")
+                    raise ChaseError(
+                        f"chase exceeded {max_steps} steps",
+                        kind="chase_steps",
+                        limit=max_steps,
+                    )
         final = Instance(frozenset(facts)) if len(facts) != len(working) else working
         return ChaseResult(final, final.difference(instance), tuple(steps))
 
@@ -209,13 +227,21 @@ def chase(
         fired = False
         for dependency in dependencies:
             for match in _sorted_matches(dependency, working):
+                if budget is not None:
+                    budget.check()
                 if _conclusion_satisfied(dependency, match, working):
                     continue
+                if budget is not None:
+                    budget.charge_chase_steps()
                 added = _apply(dependency, match, null_factory)
                 facts.update(added)
                 steps.append(_record(dependency, match, added))
                 if len(steps) > max_steps:
-                    raise ChaseError(f"chase exceeded {max_steps} steps")
+                    raise ChaseError(
+                        f"chase exceeded {max_steps} steps",
+                        kind="chase_steps",
+                        limit=max_steps,
+                    )
                 fired = True
                 break
             if fired:

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli all                   # the whole suite
     python -m repro.cli all --workers 4       # parallel bounded checks
     python -m repro.cli run E2 --engine-stats # phase timings + cache stats
+    python -m repro.cli all --deadline 60     # partial verdicts, exit code 3
     python -m repro.cli export Decomposition --format sql
     python -m repro.cli export Example4.5 --format json
 
@@ -16,18 +17,37 @@ variable): ``--workers`` fans bounded checks across a process pool,
 ``--cache-size`` bounds the chase/verdict memo caches, and
 ``--engine-stats`` prints per-phase timings and cache hit rates to
 stderr after the run.
+
+Governance knobs: ``--deadline`` / ``--max-instances`` /
+``--max-chase-steps`` / ``--max-rss-mb`` bound every sweep (the
+``REPRO_DEADLINE`` / ``REPRO_MAX_INSTANCES`` / ``REPRO_MAX_CHASE_STEPS``
+/ ``REPRO_MAX_RSS_MB`` environment knobs); ``--checkpoint PATH`` keeps
+a resumable journal of verified sweep prefixes and ``--resume`` honours
+it on the next run.  When a limit trips, checks report *partial*
+verdicts instead of crashing.
+
+Exit codes: 0 — everything passed exhaustively; 1 — a check failed;
+2 — usage error; 3 — no failures, but at least one sweep stopped early
+on a deadline/budget (coverage ``"deadline"`` / ``"budget"``);
+4 — no failures, but a worker fault was left unrecovered (coverage
+``"faulted"``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
 
 from repro.experiments import all_experiment_ids, run_all, run_experiment
 from repro.experiments.base import ExperimentReport
+
+#: Exit codes for partial (non-exhaustive) but non-failing runs.
+EXIT_PARTIAL = 3
+EXIT_FAULTED = 4
 
 
 def _report_to_json(report: ExperimentReport, elapsed: Optional[float] = None) -> dict:
@@ -45,6 +65,21 @@ def _report_to_json(report: ExperimentReport, elapsed: Optional[float] = None) -
     if elapsed is not None:
         payload["seconds"] = round(elapsed, 3)
     return payload
+
+
+def _coverage_to_json() -> List[dict]:
+    """The partial-verdict events of this run, for JSON consumers."""
+    from repro.engine.budget import coverage_events
+
+    return [
+        {
+            "phase": event.phase,
+            "coverage": event.coverage,
+            "detail": event.detail,
+            "instances_checked": event.instances_checked,
+        }
+        for event in coverage_events()
+    ]
 
 
 def _command_list() -> int:
@@ -73,6 +108,9 @@ def _command_run(experiment_ids: List[str], as_json: bool) -> int:
         if not report.passed:
             failures += 1
     if as_json:
+        coverage = _coverage_to_json()
+        if coverage:
+            payloads.append({"coverage_events": coverage})
         print(json.dumps(payloads, indent=2, ensure_ascii=False))
     return 1 if failures else 0
 
@@ -89,6 +127,7 @@ def _command_all(as_json: bool) -> int:
                     "passed": sum(r.passed for r in reports),
                     "total": len(reports),
                     "seconds": round(elapsed, 1),
+                    "coverage_events": _coverage_to_json(),
                 },
                 indent=2,
                 ensure_ascii=False,
@@ -156,6 +195,46 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print engine phase timings and cache stats to stderr",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per bounded check; sweeps that outlive it "
+        "report partial verdicts (exit code 3 instead of crashing)",
+    )
+    parser.add_argument(
+        "--max-instances",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on universe instances per sweep before reporting partially",
+    )
+    parser.add_argument(
+        "--max-chase-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on chase firings per process before reporting partially",
+    )
+    parser.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help="resident-memory watermark (MiB); sweeps stop when exceeded",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="journal file recording verified sweep prefixes",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume sweeps from the --checkpoint journal instead of restarting",
+    )
 
 
 def _configure_engine(arguments: argparse.Namespace) -> None:
@@ -165,6 +244,48 @@ def _configure_engine(arguments: argparse.Namespace) -> None:
         set_default_workers(arguments.workers)
     if getattr(arguments, "cache_size", None):
         resize_caches(arguments.cache_size)
+    # Governance flags travel as environment knobs so forked workers
+    # and nested checker entry points (Budget.from_env / default_journal)
+    # all see them without further plumbing.
+    for flag, knob in (
+        ("deadline", "REPRO_DEADLINE"),
+        ("max_instances", "REPRO_MAX_INSTANCES"),
+        ("max_chase_steps", "REPRO_MAX_CHASE_STEPS"),
+        ("max_rss_mb", "REPRO_MAX_RSS_MB"),
+        ("checkpoint", "REPRO_CHECKPOINT"),
+    ):
+        value = getattr(arguments, flag, None)
+        if value is not None:
+            os.environ[knob] = str(value)
+    if getattr(arguments, "resume", False):
+        os.environ["REPRO_RESUME"] = "1"
+
+
+def _coverage_exit(code: int) -> int:
+    """Upgrade a passing exit code when sweeps were cut short.
+
+    Failures keep exit code 1 (a violation found under a budget is
+    still a violation); passes degrade to ``EXIT_PARTIAL`` /
+    ``EXIT_FAULTED`` so scripts can tell "verified" from "ran out of
+    budget while verifying".
+    """
+    from repro.engine.budget import coverage_events, worst_coverage
+
+    events = coverage_events()
+    if code != 0 or not events:
+        return code
+    worst = worst_coverage(*(event.coverage for event in events))
+    summary = ", ".join(
+        f"{event.phase}[{event.coverage}"
+        f"@{event.instances_checked}]"
+        for event in events[:8]
+    )
+    print(
+        f"note: {len(events)} sweep(s) returned partial verdicts "
+        f"(worst coverage: {worst}): {summary}",
+        file=sys.stderr,
+    )
+    return EXIT_FAULTED if worst == "faulted" else EXIT_PARTIAL
 
 
 def _report_engine(arguments: argparse.Namespace) -> None:
@@ -216,8 +337,10 @@ def main(argv: List[str] | None = None) -> int:
     _configure_engine(arguments)
     try:
         if arguments.command == "run":
-            return _command_run(arguments.experiments, arguments.json)
-        return _command_all(arguments.json)
+            return _coverage_exit(
+                _command_run(arguments.experiments, arguments.json)
+            )
+        return _coverage_exit(_command_all(arguments.json))
     finally:
         _report_engine(arguments)
 

@@ -46,10 +46,7 @@ from repro.core.mapping import (
     is_solution,
     universal_solution,
 )
-
-
-class CompositionBudgetError(RuntimeError):
-    """Raised when a membership check would enumerate too many images."""
+from repro.errors import CompositionBudgetError
 
 
 def _candidate_intermediates(
@@ -63,7 +60,10 @@ def _candidate_intermediates(
     chase_nulls = sorted(chased.nulls())
     if len(chase_nulls) > max_nulls:
         raise CompositionBudgetError(
-            f"chase has {len(chase_nulls)} nulls (> max_nulls={max_nulls})"
+            f"chase has {len(chase_nulls)} nulls (> max_nulls={max_nulls})",
+            kind="composition_nulls",
+            limit=max_nulls,
+            consumed=len(chase_nulls),
         )
     adom_constants = sorted(
         set(left.constants()) | set(right.constants())

@@ -21,8 +21,8 @@ these checkers to find (see experiments E2, E4, E8).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.datamodel.instances import Instance
 from repro.core.mapping import (
@@ -31,8 +31,18 @@ from repro.core.mapping import (
     solutions_contained,
 )
 from repro.core.composition import composition_membership
+from repro.engine.budget import (
+    Budget,
+    COVERAGE_EXHAUSTIVE,
+    SweepVerdict,
+    current_budget,
+    record_coverage,
+    use_budget,
+)
+from repro.engine.checkpoint import CheckpointJournal, default_journal, sweep_key
 from repro.engine.instrumentation import engine_stats
 from repro.engine.parallel import ParallelUniverseRunner, get_shared
+from repro.errors import BudgetExceeded, WorkerFault, governed_coverage
 
 
 class EquivalenceRelation(Protocol):
@@ -75,11 +85,24 @@ class SubsetPropertyReport:
     which no witness pair (I1', I2') with I1 ∼1 I1', I2 ∼2 I2' and
     I1' ⊆ I2' exists in the witness universe.  ``checked`` counts the
     containment pairs examined.
+
+    ``coverage`` records whether the sweep ran to completion
+    (``"exhaustive"``) or was cut short by the governance layer
+    (``"deadline"`` / ``"budget"`` / ``"faulted"``); for a partial
+    sweep, ``holds`` speaks only for the ``instances_checked`` leading
+    universe instances actually examined (cumulative across resumed
+    runs).
     """
 
     holds: bool
     checked: int
     violations: Tuple[Tuple[Instance, Instance], ...] = ()
+    coverage: str = COVERAGE_EXHAUSTIVE
+    instances_checked: int = 0
+
+    @property
+    def exhaustive(self) -> bool:
+        return self.coverage == COVERAGE_EXHAUSTIVE
 
 
 def _default_witnesses(universe: Sequence[Instance]) -> List[Instance]:
@@ -122,6 +145,18 @@ def _subset_property_task(
     return events
 
 
+def _resolve_budget(budget: Optional[Budget]) -> Optional[Budget]:
+    """The budget a checker entry point should run under: an explicit
+    one, else the ambient one, else whatever the environment knobs
+    (``REPRO_DEADLINE`` & friends, set by the CLI) configure."""
+    if budget is not None:
+        return budget
+    ambient = current_budget()
+    if ambient is not None:
+        return ambient
+    return Budget.from_env()
+
+
 def subset_property(
     mapping: SchemaMapping,
     relation1: EquivalenceRelation,
@@ -131,6 +166,8 @@ def subset_property(
     witness_universe: Optional[Sequence[Instance]] = None,
     stop_at_first_violation: bool = True,
     workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    checkpoint: Optional[CheckpointJournal] = None,
 ) -> SubsetPropertyReport:
     """Bounded check of the (∼1,∼2)-subset property (Definition 3.4).
 
@@ -143,6 +180,12 @@ def subset_property(
     :class:`ParallelUniverseRunner` (*workers* defaults to the
     engine-wide setting); results merge in input order, so the report
     is identical for every worker count.
+
+    *budget* (default: ambient, else from the ``REPRO_*`` environment
+    knobs) bounds the sweep; when it trips, the report comes back with
+    partial ``coverage`` instead of an exception.  *checkpoint*
+    (default: the ``REPRO_CHECKPOINT`` journal) records the verified
+    prefix so an interrupted sweep resumes where it stopped.
     """
     universe = list(universe)
     witnesses = (
@@ -150,22 +193,89 @@ def subset_property(
         if witness_universe is not None
         else _default_witnesses(universe)
     )
+    budget = _resolve_budget(budget)
+    journal = checkpoint if checkpoint is not None else default_journal()
+    key = sweep_key(
+        "subset_property",
+        mapping.name or mapping,
+        relation1,
+        relation2,
+        len(universe),
+        len(witnesses),
+    )
+    start = journal.resume_index(key, len(universe)) if journal else 0
+    prior = (
+        journal.prior_verdict(key)
+        if journal and start
+        else {"ok": True, "violations": 0}
+    )
     runner = ParallelUniverseRunner(workers)
     shared = (mapping, relation1, relation2, universe, witnesses)
     checked = 0
+    instances_checked = start
+    coverage = COVERAGE_EXHAUSTIVE
     violations: List[Tuple[Instance, Instance]] = []
-    with engine_stats().phase("check.subset_property"):
-        results = runner.map_iter(_subset_property_task, universe, shared=shared)
-        for left, events in zip(universe, results):
-            for right, witnessed in events:
-                checked += 1
-                if witnessed:
-                    continue
-                violations.append((left, right))
-                if stop_at_first_violation:
-                    results.close()
-                    return SubsetPropertyReport(False, checked, tuple(violations))
-    return SubsetPropertyReport(not violations, checked, tuple(violations))
+
+    def report(holds: bool) -> SubsetPropertyReport:
+        return SubsetPropertyReport(
+            holds and prior["ok"],
+            checked,
+            tuple(violations),
+            coverage=coverage,
+            instances_checked=instances_checked,
+        )
+
+    def note_progress(flush: bool = False) -> None:
+        if journal is not None:
+            journal.record(
+                key,
+                verified_upto=instances_checked,
+                total=len(universe),
+                ok=prior["ok"] and not violations,
+                violations=prior["violations"] + len(violations),
+                flush=flush,
+            )
+
+    with engine_stats().phase("check.subset_property"), use_budget(budget):
+        results = runner.map_iter(
+            _subset_property_task, universe[start:], shared=shared, budget=budget
+        )
+        try:
+            for left, events in zip(universe[start:], results):
+                for right, witnessed in events:
+                    checked += 1
+                    if witnessed:
+                        continue
+                    violations.append((left, right))
+                    if stop_at_first_violation:
+                        results.close()
+                        if journal is not None:
+                            journal.complete(
+                                key,
+                                total=len(universe),
+                                ok=False,
+                                violations=prior["violations"] + len(violations),
+                            )
+                        return report(False)
+                instances_checked += 1
+                note_progress()
+        except (BudgetExceeded, WorkerFault) as error:
+            coverage = governed_coverage(error)
+            if coverage is None:
+                raise
+            note_progress(flush=True)
+            record_coverage(
+                "check.subset_property", coverage, str(error), instances_checked
+            )
+            return report(not violations)
+    if journal is not None:
+        journal.complete(
+            key,
+            total=len(universe),
+            ok=prior["ok"] and not violations,
+            violations=prior["violations"] + len(violations),
+        )
+    return report(not violations)
 
 
 def _has_subset_witness(
@@ -204,6 +314,7 @@ def unique_solutions_property(
     universe: Sequence[Instance],
     *,
     workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Tuple[bool, Tuple[Tuple[Instance, Instance], ...]]:
     """Bounded check of the unique-solutions property (from [3]).
 
@@ -211,16 +322,42 @@ def unique_solutions_property(
     the universe with equal solution spaces.  A violation certifies
     non-invertibility.  Fans out per left instance with deterministic
     merge order.
+
+    The return value is a :class:`~repro.engine.budget.SweepVerdict`:
+    it unpacks as the historical 2-tuple and additionally carries
+    ``coverage`` / ``instances_checked`` when a *budget* (explicit,
+    ambient, or environment-configured) cuts the sweep short.
     """
     ordered = list(universe)
+    budget = _resolve_budget(budget)
     runner = ParallelUniverseRunner(workers)
     violations: List[Tuple[Instance, Instance]] = []
-    with engine_stats().phase("check.unique_solutions"):
-        for found in runner.map(
-            _unique_solutions_task, range(len(ordered)), shared=(mapping, ordered)
-        ):
-            violations.extend(found)
-    return (not violations, tuple(violations))
+    coverage = COVERAGE_EXHAUSTIVE
+    instances_checked = 0
+    with engine_stats().phase("check.unique_solutions"), use_budget(budget):
+        results = runner.map_iter(
+            _unique_solutions_task,
+            range(len(ordered)),
+            shared=(mapping, ordered),
+            budget=budget,
+        )
+        try:
+            for found in results:
+                violations.extend(found)
+                instances_checked += 1
+        except (BudgetExceeded, WorkerFault) as error:
+            coverage = governed_coverage(error)
+            if coverage is None:
+                raise
+            record_coverage(
+                "check.unique_solutions", coverage, str(error), instances_checked
+            )
+    return SweepVerdict(
+        not violations,
+        tuple(violations),
+        coverage=coverage,
+        instances_checked=instances_checked,
+    )
 
 
 @dataclass(frozen=True)
@@ -232,11 +369,22 @@ class InverseCheckReport:
     ``"id_only"`` means (I1,I2) ∈ Inst(Id)[∼1,∼2] but not in
     Inst(M∘M')[∼1,∼2] over the witness pool, and ``"comp_only"`` the
     converse.
+
+    ``coverage`` / ``instances_checked`` mirror
+    :class:`SubsetPropertyReport`: ``"exhaustive"`` means every pair
+    was examined, anything else means the governance layer stopped the
+    sweep after ``instances_checked`` left instances.
     """
 
     holds: bool
     checked: int
     mismatches: Tuple[Tuple[Instance, Instance, str], ...] = ()
+    coverage: str = COVERAGE_EXHAUSTIVE
+    instances_checked: int = 0
+
+    @property
+    def exhaustive(self) -> bool:
+        return self.coverage == COVERAGE_EXHAUSTIVE
 
 
 def is_quasi_inverse(
@@ -248,6 +396,7 @@ def is_quasi_inverse(
     max_nulls: int = 7,
     stop_at_first_mismatch: bool = True,
     workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> InverseCheckReport:
     """Bounded check that *candidate* is a quasi-inverse of *mapping*.
 
@@ -265,6 +414,7 @@ def is_quasi_inverse(
         witness_universe=witness_universe,
         max_nulls=max_nulls,
         stop_at_first_mismatch=stop_at_first_mismatch,
+        budget=budget,
     )
 
 
@@ -279,6 +429,7 @@ def is_generalized_inverse(
     max_nulls: int = 7,
     stop_at_first_mismatch: bool = True,
     workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> InverseCheckReport:
     """Bounded check of Definition 3.3: is *candidate* a
     (∼1,∼2)-inverse of *mapping*?
@@ -289,6 +440,9 @@ def is_generalized_inverse(
     (default: the universe closed under pairwise unions).  A reported
     mismatch of kind ``"comp_only"`` is a definite refutation; one of
     kind ``"id_only"`` refutes up to the witness pool.
+
+    *budget* (default: ambient, else environment) governs the sweep;
+    when it trips, the report carries partial ``coverage``.
     """
     universe = list(universe)
     witnesses = (
@@ -296,6 +450,7 @@ def is_generalized_inverse(
         if witness_universe is not None
         else _default_witnesses(universe)
     )
+    budget = _resolve_budget(budget)
     shared = (
         mapping,
         candidate,
@@ -305,13 +460,15 @@ def is_generalized_inverse(
         witnesses,
         max_nulls,
     )
-    with engine_stats().phase("check.generalized_inverse"):
+    with engine_stats().phase("check.generalized_inverse"), use_budget(budget):
         return _merge_inverse_events(
             ParallelUniverseRunner(workers),
             _generalized_inverse_task,
             universe,
             shared,
             stop_at_first_mismatch,
+            budget=budget,
+            phase="check.generalized_inverse",
         )
 
 
@@ -402,26 +559,60 @@ def _merge_inverse_events(
     universe: Sequence[Instance],
     shared: Tuple,
     stop_at_first_mismatch: bool,
+    *,
+    budget: Optional[Budget] = None,
+    phase: str = "check.inverse",
 ) -> InverseCheckReport:
     """Fold per-left event streams into an :class:`InverseCheckReport`
-    exactly as the serial pair loop would."""
+    exactly as the serial pair loop would.
+
+    Exceptions an algorithm raised in a worker are re-raised at their
+    serial position; governed budget trips (deadline / instance cap /
+    RSS) and recovered-from worker faults instead degrade the report
+    to a partial ``coverage``.
+    """
     checked = 0
+    instances_checked = 0
+    coverage = COVERAGE_EXHAUSTIVE
     mismatches: List[Tuple[Instance, Instance, str]] = []
-    results = runner.map_iter(task, universe, shared=shared)
-    for left, (events, error) in zip(universe, results):
-        for right, in_id, in_comp in events:
-            checked += 1
-            if in_id == in_comp:
-                continue
-            kind = "id_only" if in_id else "comp_only"
-            mismatches.append((left, right, kind))
-            if stop_at_first_mismatch:
+
+    def report(holds: bool) -> InverseCheckReport:
+        return InverseCheckReport(
+            holds,
+            checked,
+            tuple(mismatches),
+            coverage=coverage,
+            instances_checked=instances_checked,
+        )
+
+    results = runner.map_iter(task, universe, shared=shared, budget=budget)
+    try:
+        for left, (events, error) in zip(universe, results):
+            for right, in_id, in_comp in events:
+                checked += 1
+                if in_id == in_comp:
+                    continue
+                kind = "id_only" if in_id else "comp_only"
+                mismatches.append((left, right, kind))
+                if stop_at_first_mismatch:
+                    results.close()
+                    return report(False)
+            if error is not None:
                 results.close()
-                return InverseCheckReport(False, checked, tuple(mismatches))
-        if error is not None:
-            results.close()
-            raise error
-    return InverseCheckReport(not mismatches, checked, tuple(mismatches))
+                governed = governed_coverage(error)
+                if governed is None:
+                    raise error
+                coverage = governed
+                record_coverage(phase, coverage, str(error), instances_checked)
+                return report(not mismatches)
+            instances_checked += 1
+    except (BudgetExceeded, WorkerFault) as error:
+        coverage = governed_coverage(error)
+        if coverage is None:
+            raise
+        record_coverage(phase, coverage, str(error), instances_checked)
+        return report(not mismatches)
+    return report(not mismatches)
 
 
 def is_inverse(
@@ -432,6 +623,7 @@ def is_inverse(
     max_nulls: int = 7,
     stop_at_first_mismatch: bool = True,
     workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> InverseCheckReport:
     """Bounded check that *candidate* is an inverse of *mapping*.
 
@@ -439,14 +631,20 @@ def is_inverse(
     pairs, I1 ⊆ I2 iff (I1, I2) ∈ Inst(M ∘ M').  Equality of the two
     relations is checked pairwise over *universe*; both membership
     tests are exact, so any mismatch is a definite refutation.
+
+    *budget* (default: ambient, else environment) governs the sweep;
+    when it trips, the report carries partial ``coverage``.
     """
     universe = list(universe)
+    budget = _resolve_budget(budget)
     shared = (mapping, candidate, universe, max_nulls)
-    with engine_stats().phase("check.is_inverse"):
+    with engine_stats().phase("check.is_inverse"), use_budget(budget):
         return _merge_inverse_events(
             ParallelUniverseRunner(workers),
             _is_inverse_task,
             universe,
             shared,
             stop_at_first_mismatch,
+            budget=budget,
+            phase="check.is_inverse",
         )

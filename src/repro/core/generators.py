@@ -56,6 +56,7 @@ from repro.datamodel.instances import Instance
 from repro.datamodel.terms import Constant, Term, Variable
 from repro.dependencies.descriptions import set_partitions
 from repro.core.mapping import MappingError, SchemaMapping
+from repro.errors import MinGenBudgetError
 
 
 @dataclass(frozen=True)
@@ -76,10 +77,6 @@ class MinGenConfig:
     max_candidates: int = 2_000_000
     max_specialization_vars: int = 6
     fresh_prefix: str = "z"
-
-
-class MinGenBudgetError(RuntimeError):
-    """Raised when the MinGen search exceeds its candidate budget."""
 
 
 @dataclass(frozen=True)
@@ -443,7 +440,9 @@ def _minimal_generators_proofs(
         budget -= 1
         if budget < 0:
             raise MinGenBudgetError(
-                f"MinGen exceeded {config.max_candidates} proof shapes"
+                f"MinGen exceeded {config.max_candidates} proof shapes",
+                kind="mingen",
+                limit=config.max_candidates,
             )
         solved = _solve_proof(tgds, goal_atoms, frontier, firings, prefix)
         if solved is None:
@@ -463,7 +462,9 @@ def _minimal_generators_proofs(
             budget -= 1
             if budget < 0:
                 raise MinGenBudgetError(
-                    f"MinGen exceeded {config.max_candidates} candidates"
+                    f"MinGen exceeded {config.max_candidates} candidates",
+                    kind="mingen",
+                    limit=config.max_candidates,
                 )
             if not set(frontier) <= set(atoms_variables(specialized)):
                 continue
@@ -588,7 +589,9 @@ def minimal_generators_exhaustive(
                 budget -= 1
                 if budget < 0:
                     raise MinGenBudgetError(
-                        f"MinGen exceeded {config.max_candidates} candidates"
+                        f"MinGen exceeded {config.max_candidates} candidates",
+                        kind="mingen",
+                        limit=config.max_candidates,
                     )
                 if contains_known(extended):
                     continue

@@ -37,10 +37,7 @@ from repro.engine.cache import (
     verdict_cache,
 )
 from repro.engine.instrumentation import engine_stats
-
-
-class MappingError(ValueError):
-    """Raised for malformed schema mappings or unsupported operations."""
+from repro.errors import MappingError
 
 
 @dataclass(frozen=True)

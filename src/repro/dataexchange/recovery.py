@@ -21,30 +21,47 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Tuple
 
-from repro.chase.homomorphism import (
-    instance_homomorphism,
-    is_homomorphically_equivalent,
-)
+from repro.chase.homomorphism import instance_homomorphism
 from repro.datamodel.instances import Instance
 from repro.dataexchange.exchange import RoundTrip, round_trip
 from repro.core.mapping import SchemaMapping
+from repro.engine.budget import (
+    Budget,
+    COVERAGE_EXHAUSTIVE,
+    SweepVerdict,
+    current_budget,
+    record_coverage,
+    use_budget,
+)
+from repro.engine.checkpoint import CheckpointJournal, default_journal, sweep_key
 from repro.engine.instrumentation import engine_stats
 from repro.engine.parallel import ParallelUniverseRunner, get_shared
+from repro.errors import BudgetExceeded, WorkerFault, governed_coverage
 
 
 @dataclass(frozen=True)
 class RecoveryReport:
-    """Per-instance soundness/faithfulness verdicts for a round trip."""
+    """Per-instance soundness/faithfulness verdicts for a round trip.
 
-    trip: RoundTrip
+    ``trip`` is None exactly when ``coverage`` is not ``"exhaustive"``:
+    the governing budget tripped mid-chase, so no verdict exists for
+    this instance (``sound`` / ``faithful`` are then vacuously False).
+    """
+
+    trip: Optional[RoundTrip]
     sound: bool
     faithful: bool
     faithful_index: Optional[int] = None
+    coverage: str = COVERAGE_EXHAUSTIVE
+
+    @property
+    def exhaustive(self) -> bool:
+        return self.coverage == COVERAGE_EXHAUSTIVE
 
     @property
     def recovered_instance(self) -> Optional[Instance]:
         """The member of V whose re-exchange is equivalent to U."""
-        if self.faithful_index is None:
+        if self.faithful_index is None or self.trip is None:
             return None
         return self.trip.recovered[self.faithful_index]
 
@@ -53,9 +70,32 @@ def analyze_round_trip(
     mapping: SchemaMapping,
     reverse_mapping: SchemaMapping,
     instance: Instance,
+    *,
+    budget: Optional[Budget] = None,
 ) -> RecoveryReport:
-    """Run the Figure-1 flow and judge soundness and faithfulness."""
-    trip = round_trip(mapping, reverse_mapping, instance)
+    """Run the Figure-1 flow and judge soundness and faithfulness.
+
+    *budget* (default: the ambient one) bounds the chases; if it trips
+    mid-flow the report comes back with ``trip=None`` and a partial
+    ``coverage`` instead of raising.
+    """
+    if budget is None:
+        budget = current_budget()
+    try:
+        with use_budget(budget):
+            trip = round_trip(mapping, reverse_mapping, instance)
+    except BudgetExceeded as error:
+        coverage = governed_coverage(error)
+        if coverage is None:
+            raise
+        record_coverage("check.round_trip", coverage, str(error), 0)
+        return RecoveryReport(None, False, False, coverage=coverage)
+    sound, faithful, faithful_index = _judge_round_trip(trip)
+    return RecoveryReport(trip, sound, faithful, faithful_index)
+
+
+def _judge_round_trip(trip: RoundTrip) -> Tuple[bool, bool, Optional[int]]:
+    """The (sound, faithful, faithful_index) verdict of Definition 6.5."""
     sound = False
     faithful = False
     faithful_index: Optional[int] = None
@@ -66,31 +106,53 @@ def analyze_round_trip(
                 faithful = True
                 faithful_index = index
                 break
-    return RecoveryReport(trip, sound, faithful, faithful_index)
+    return sound, faithful, faithful_index
 
 
 def is_sound(
     mapping: SchemaMapping,
     reverse_mapping: SchemaMapping,
     instance: Instance,
+    *,
+    budget: Optional[Budget] = None,
 ) -> bool:
     """Definition 6.5(1) on one ground instance."""
-    return analyze_round_trip(mapping, reverse_mapping, instance).sound
+    return analyze_round_trip(
+        mapping, reverse_mapping, instance, budget=budget
+    ).sound
 
 
 def is_faithful(
     mapping: SchemaMapping,
     reverse_mapping: SchemaMapping,
     instance: Instance,
+    *,
+    budget: Optional[Budget] = None,
 ) -> bool:
     """Definition 6.5(2) on one ground instance."""
-    return analyze_round_trip(mapping, reverse_mapping, instance).faithful
+    return analyze_round_trip(
+        mapping, reverse_mapping, instance, budget=budget
+    ).faithful
 
 
 def _round_trip_task(instance: Instance) -> Tuple[bool, bool]:
+    # Budget trips propagate out of the task (rather than being folded
+    # into the per-instance report) so the surrounding sweep stops with
+    # partial coverage instead of mislabeling cut-short instances as
+    # violators.
     mapping, reverse_mapping = get_shared()
-    report = analyze_round_trip(mapping, reverse_mapping, instance)
-    return report.sound, report.faithful
+    trip = round_trip(mapping, reverse_mapping, instance)
+    sound, faithful, _ = _judge_round_trip(trip)
+    return sound, faithful
+
+
+def _resolve_budget(budget: Optional[Budget]) -> Optional[Budget]:
+    if budget is not None:
+        return budget
+    ambient = current_budget()
+    if ambient is not None:
+        return ambient
+    return Budget.from_env()
 
 
 def _sweep(
@@ -99,21 +161,91 @@ def _sweep(
     instances: Iterable[Instance],
     keep: Callable[[Tuple[bool, bool]], bool],
     workers: Optional[int],
-) -> Tuple[bool, Tuple[Instance, ...]]:
+    *,
+    label: str,
+    budget: Optional[Budget] = None,
+    checkpoint: Optional[CheckpointJournal] = None,
+) -> SweepVerdict:
     """Fan the Figure-1 round trip out over *instances* and collect,
-    in input order, those whose verdict fails *keep*."""
+    in input order, those whose verdict fails *keep*.
+
+    Returns a :class:`~repro.engine.budget.SweepVerdict` — unpacks as
+    the historical ``(ok, violators)`` pair and carries ``coverage`` /
+    ``instances_checked``.  A governing *budget* (default: ambient,
+    else environment) that trips mid-sweep yields a partial verdict
+    over the instances already judged; *checkpoint* (default: the
+    ``REPRO_CHECKPOINT`` journal) lets an interrupted sweep resume
+    from the verified prefix.
+    """
     ordered = list(instances)
-    runner = ParallelUniverseRunner(workers)
-    with engine_stats().phase("check.round_trips"):
-        verdicts = runner.map(
-            _round_trip_task, ordered, shared=(mapping, reverse_mapping)
-        )
-    violators = tuple(
-        instance
-        for instance, verdict in zip(ordered, verdicts)
-        if not keep(verdict)
+    budget = _resolve_budget(budget)
+    journal = checkpoint if checkpoint is not None else default_journal()
+    key = sweep_key(
+        label,
+        mapping.name or mapping,
+        reverse_mapping.name or reverse_mapping,
+        len(ordered),
     )
-    return (not violators, violators)
+    start = journal.resume_index(key, len(ordered)) if journal else 0
+    prior = (
+        journal.prior_verdict(key)
+        if journal and start
+        else {"ok": True, "violations": 0}
+    )
+    runner = ParallelUniverseRunner(workers)
+    coverage = COVERAGE_EXHAUSTIVE
+    instances_checked = start
+    violators: List[Instance] = []
+
+    def note_progress(flush: bool = False) -> None:
+        if journal is not None:
+            journal.record(
+                key,
+                verified_upto=instances_checked,
+                total=len(ordered),
+                ok=prior["ok"] and not violators,
+                violations=prior["violations"] + len(violators),
+                flush=flush,
+            )
+
+    with engine_stats().phase("check.round_trips"), use_budget(budget):
+        results = runner.map_iter(
+            _round_trip_task,
+            ordered[start:],
+            shared=(mapping, reverse_mapping),
+            budget=budget,
+        )
+        try:
+            for instance, verdict in zip(ordered[start:], results):
+                if not keep(verdict):
+                    violators.append(instance)
+                instances_checked += 1
+                note_progress()
+        except (BudgetExceeded, WorkerFault) as error:
+            coverage = governed_coverage(error)
+            if coverage is None:
+                raise
+            note_progress(flush=True)
+            record_coverage(label, coverage, str(error), instances_checked)
+            return SweepVerdict(
+                prior["ok"] and not violators,
+                tuple(violators),
+                coverage=coverage,
+                instances_checked=instances_checked,
+            )
+    if journal is not None:
+        journal.complete(
+            key,
+            total=len(ordered),
+            ok=prior["ok"] and not violators,
+            violations=prior["violations"] + len(violators),
+        )
+    return SweepVerdict(
+        prior["ok"] and not violators,
+        tuple(violators),
+        coverage=coverage,
+        instances_checked=instances_checked,
+    )
 
 
 def sound_on(
@@ -122,10 +254,23 @@ def sound_on(
     instances: Iterable[Instance],
     *,
     workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    checkpoint: Optional[CheckpointJournal] = None,
 ) -> Tuple[bool, Tuple[Instance, ...]]:
-    """Check soundness over many instances; returns (ok, violators)."""
+    """Check soundness over many instances; returns (ok, violators).
+
+    The result is a :class:`~repro.engine.budget.SweepVerdict`, so it
+    also exposes ``coverage`` and ``instances_checked``.
+    """
     return _sweep(
-        mapping, reverse_mapping, instances, lambda verdict: verdict[0], workers
+        mapping,
+        reverse_mapping,
+        instances,
+        lambda verdict: verdict[0],
+        workers,
+        label="check.sound_on",
+        budget=budget,
+        checkpoint=checkpoint,
     )
 
 
@@ -135,10 +280,23 @@ def faithful_on(
     instances: Iterable[Instance],
     *,
     workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    checkpoint: Optional[CheckpointJournal] = None,
 ) -> Tuple[bool, Tuple[Instance, ...]]:
-    """Check faithfulness over many instances; returns (ok, violators)."""
+    """Check faithfulness over many instances; returns (ok, violators).
+
+    The result is a :class:`~repro.engine.budget.SweepVerdict`, so it
+    also exposes ``coverage`` and ``instances_checked``.
+    """
     return _sweep(
-        mapping, reverse_mapping, instances, lambda verdict: verdict[1], workers
+        mapping,
+        reverse_mapping,
+        instances,
+        lambda verdict: verdict[1],
+        workers,
+        label="check.faithful_on",
+        budget=budget,
+        checkpoint=checkpoint,
     )
 
 

@@ -30,10 +30,7 @@ from typing import Iterator, List, Optional, Sequence, Set, Tuple
 from repro.datamodel.atoms import Atom
 from repro.datamodel.terms import Constant, Term, Variable
 from repro.dependencies.dependency import Dependency, DependencyError, Premise
-
-
-class ParseError(ValueError):
-    """Raised on malformed dependency text."""
+from repro.errors import ParseError
 
 
 _TOKEN_RE = re.compile(

@@ -18,10 +18,28 @@ fast:
 * :mod:`repro.engine.instrumentation` — per-phase timings and
   throughput counters surfaced by the CLI and benchmarks.
 
-The package depends only on :mod:`repro.datamodel`; the chase, core,
-analysis, and data-exchange layers all route through it.
+* :mod:`repro.engine.budget` — per-check resource budgets (deadline,
+  instance cap, chase-step cap, RSS watermark) that degrade blown-up
+  sweeps into partial verdicts instead of lost work;
+* :mod:`repro.engine.checkpoint` — a journal of verified instance
+  ranges so interrupted sweeps resume where they stopped.
+
+The package depends only on :mod:`repro.datamodel` and
+:mod:`repro.errors`; the chase, core, analysis, and data-exchange
+layers all route through it.
 """
 
+from repro.engine.budget import (
+    Budget,
+    CoverageEvent,
+    SweepVerdict,
+    coverage_events,
+    current_budget,
+    record_coverage,
+    reset_coverage_events,
+    use_budget,
+    worst_coverage,
+)
 from repro.engine.cache import (
     CacheStats,
     MemoCache,
@@ -35,6 +53,7 @@ from repro.engine.cache import (
     resize_caches,
     verdict_cache,
 )
+from repro.engine.checkpoint import CheckpointJournal, default_journal, sweep_key
 from repro.engine.indexing import FactIndex, fact_index
 from repro.engine.instrumentation import (
     EngineStats,
@@ -43,30 +62,44 @@ from repro.engine.instrumentation import (
 )
 from repro.engine.parallel import (
     ParallelUniverseRunner,
+    default_task_timeout,
     default_workers,
     fork_available,
     set_default_workers,
 )
 
 __all__ = [
+    "Budget",
     "CacheStats",
+    "CheckpointJournal",
+    "CoverageEvent",
     "EngineStats",
     "FactIndex",
     "MemoCache",
     "ParallelUniverseRunner",
+    "SweepVerdict",
     "all_cache_stats",
     "cached_chase_result",
     "canonical_key",
     "canonicalize_instance",
     "chase_cache",
+    "coverage_events",
+    "current_budget",
+    "default_journal",
+    "default_task_timeout",
     "default_workers",
     "engine_stats",
     "fact_index",
     "fork_available",
     "mapping_key",
+    "record_coverage",
     "reset_all_caches",
+    "reset_coverage_events",
     "reset_engine_stats",
     "resize_caches",
     "set_default_workers",
+    "sweep_key",
+    "use_budget",
     "verdict_cache",
+    "worst_coverage",
 ]

@@ -1,0 +1,165 @@
+"""Checkpoint journal: resumable sweeps over instance universes.
+
+Every sweep the checkers run is a deterministic fold over an ordered
+universe, so progress is fully described by *how far the fold got*.
+A :class:`CheckpointJournal` persists, per check key:
+
+* ``verified_upto`` — the number of leading universe items whose
+  verdicts are final;
+* ``ok`` and ``violations`` — the verdict accumulated over that
+  prefix (violator *instances* are not serialized, only their count;
+  a resumed report's violator tuple therefore lists post-resume
+  violators only, which the report's ``resumed_from`` note records);
+* ``total`` and ``fingerprint`` — sanity guards: a journal entry is
+  only honoured when the sweep being resumed has the same length and
+  derivation key, otherwise it is discarded and the sweep restarts.
+
+The journal file is JSON, rewritten atomically (temp file + rename)
+every ``interval`` recorded items and at completion/interruption, so
+a SIGKILL of the whole process loses at most one interval of work.
+
+The CLI wires this up through ``REPRO_CHECKPOINT`` (journal path) and
+``REPRO_RESUME`` (honour previous entries instead of restarting);
+checkers pick the ambient journal up via :func:`default_journal`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+
+def sweep_key(*parts: Any) -> str:
+    """A stable content key for one sweep (checker name, mapping
+    names, universe size, ...).  Stable across processes and runs —
+    no reliance on randomized ``hash()``."""
+    digest = hashlib.sha1("\x1f".join(str(part) for part in parts).encode())
+    return digest.hexdigest()[:16]
+
+
+class CheckpointJournal:
+    """Records verified prefixes of deterministic sweeps (see module
+    docstring)."""
+
+    def __init__(
+        self, path: str, *, interval: int = 64, resume: bool = True
+    ) -> None:
+        self.path = path
+        self.interval = max(1, int(interval))
+        self.resume = resume
+        self._state: Dict[str, Dict[str, Any]] = {}
+        self._pending = 0
+        if resume and os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    loaded = json.load(handle)
+                if isinstance(loaded, dict):
+                    self._state = {
+                        key: entry
+                        for key, entry in loaded.items()
+                        if isinstance(entry, dict)
+                    }
+            except (OSError, ValueError):
+                self._state = {}
+
+    # -- resume ------------------------------------------------------
+
+    def resume_index(self, key: str, total: int) -> int:
+        """How many leading items of this sweep are already verified."""
+        entry = self._state.get(key)
+        if not self.resume or entry is None:
+            return 0
+        if entry.get("total") != total:
+            return 0  # the universe changed; the entry is stale
+        return min(int(entry.get("verified_upto", 0)), total)
+
+    def prior_verdict(self, key: str) -> Dict[str, Any]:
+        """The accumulated verdict over the resumed prefix."""
+        entry = self._state.get(key, {})
+        return {
+            "ok": bool(entry.get("ok", True)),
+            "violations": int(entry.get("violations", 0)),
+        }
+
+    # -- record ------------------------------------------------------
+
+    def record(
+        self,
+        key: str,
+        *,
+        verified_upto: int,
+        total: int,
+        ok: bool,
+        violations: int,
+        flush: bool = False,
+    ) -> None:
+        """Update a sweep's verified prefix; persists every
+        ``interval`` calls or when *flush* is set."""
+        self._state[key] = {
+            "verified_upto": verified_upto,
+            "total": total,
+            "ok": ok,
+            "violations": violations,
+            "complete": verified_upto >= total,
+        }
+        self._pending += 1
+        if flush or self._pending >= self.interval:
+            self.flush()
+
+    def complete(
+        self, key: str, *, total: int, ok: bool, violations: int
+    ) -> None:
+        self.record(
+            key,
+            verified_upto=total,
+            total=total,
+            ok=ok,
+            violations=violations,
+            flush=True,
+        )
+
+    def flush(self) -> None:
+        """Atomically rewrite the journal file."""
+        self._pending = 0
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        try:
+            handle = tempfile.NamedTemporaryFile(
+                "w",
+                dir=directory,
+                prefix=".repro-ckpt-",
+                suffix=".tmp",
+                delete=False,
+                encoding="utf-8",
+            )
+            with handle:
+                json.dump(self._state, handle, indent=1, sort_keys=True)
+            os.replace(handle.name, self.path)
+        except OSError:
+            pass  # checkpointing is best-effort; never break the sweep
+
+
+# -- the ambient journal --------------------------------------------------
+
+_DEFAULT: Optional[CheckpointJournal] = None
+_DEFAULT_PATH: Optional[str] = None
+
+
+def default_journal() -> Optional[CheckpointJournal]:
+    """The journal named by ``REPRO_CHECKPOINT``, honouring previous
+    entries only when ``REPRO_RESUME`` is truthy; None when unset."""
+    global _DEFAULT, _DEFAULT_PATH
+    path = os.environ.get("REPRO_CHECKPOINT")
+    if not path:
+        _DEFAULT, _DEFAULT_PATH = None, None
+        return None
+    resume = os.environ.get("REPRO_RESUME", "") not in ("", "0", "false")
+    if _DEFAULT is None or _DEFAULT_PATH != path or _DEFAULT.resume != resume:
+        _DEFAULT = CheckpointJournal(path, resume=resume)
+        _DEFAULT_PATH = path
+    return _DEFAULT
+
+
+__all__ = ["CheckpointJournal", "default_journal", "sweep_key"]

@@ -37,6 +37,7 @@ class EngineStats:
 
     phases: Dict[str, PhaseStats] = field(default_factory=dict)
     instances_processed: int = 0
+    worker_faults: int = 0
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -51,6 +52,10 @@ class EngineStats:
     def count_instances(self, n: int = 1) -> None:
         self.instances_processed += n
 
+    def count_worker_fault(self, n: int = 1) -> None:
+        """A pool worker died or timed out and recovery kicked in."""
+        self.worker_faults += n
+
     def instances_per_second(self, phase: str) -> float:
         stats = self.phases.get(phase)
         if stats is None or stats.seconds == 0:
@@ -60,6 +65,7 @@ class EngineStats:
     def reset(self) -> None:
         self.phases.clear()
         self.instances_processed = 0
+        self.worker_faults = 0
 
     def snapshot(self) -> Dict[str, Tuple[int, float]]:
         """``{phase: (calls, seconds)}`` for machine-readable reports."""
@@ -77,6 +83,8 @@ class EngineStats:
             )
         if self.instances_processed:
             lines.append(f"  instances processed      {self.instances_processed:>8}")
+        if self.worker_faults:
+            lines.append(f"  worker faults recovered  {self.worker_faults:>8}")
         for cache_stats in all_cache_stats():
             lines.append(f"  {cache_stats.render()}")
         if len(lines) == 1:

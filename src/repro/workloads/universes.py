@@ -19,10 +19,7 @@ from repro.datamodel.atoms import Atom
 from repro.datamodel.instances import Instance
 from repro.datamodel.schemas import Schema
 from repro.datamodel.terms import Constant
-
-
-class UniverseTooLarge(ValueError):
-    """Raised when a requested universe exceeds its cap."""
+from repro.errors import UniverseTooLarge
 
 
 def all_possible_facts(
@@ -63,7 +60,10 @@ def power_instances(
     if total > cap:
         raise UniverseTooLarge(
             f"universe over {schema} with |domain|={len(domain)} and "
-            f"max_facts={max_facts} has {total} instances, exceeding cap={cap}"
+            f"max_facts={max_facts} has {total} instances, exceeding cap={cap}",
+            kind="universe",
+            limit=cap,
+            consumed=total,
         )
 
     def generate() -> Iterator[Instance]:
