@@ -12,11 +12,13 @@ Usage::
 
     python benchmarks/check_regression.py results.json
     python benchmarks/check_regression.py results.json --threshold 3.0
+    python benchmarks/check_regression.py results.json --emit-snapshot BENCH_PR4.json
 
 Refreshing the baseline (after an intentional perf change)::
 
     BENCH_QUICK=1 PYTHONPATH=src python -m pytest \
         benchmarks/bench_scale_homomorphism.py benchmarks/bench_scale_chase.py \
+        benchmarks/bench_scale_symmetry.py \
         --benchmark-only --benchmark-json=benchmarks/baseline_smoke.json
     git add benchmarks/baseline_smoke.json
 
@@ -38,14 +40,37 @@ DEFAULT_BASELINE = Path(__file__).parent / "baseline_smoke.json"
 
 def load_means(path: Path) -> Dict[str, float]:
     """``{fullname: mean seconds}`` from a pytest-benchmark JSON file."""
+    return _load_stat(path, "mean")
+
+
+def load_medians(path: Path) -> Dict[str, float]:
+    """``{fullname: median seconds}`` from a pytest-benchmark JSON file."""
+    return _load_stat(path, "median")
+
+
+def _load_stat(path: Path, stat: str) -> Dict[str, float]:
     try:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as error:
         raise SystemExit(f"cannot read benchmark JSON {path}: {error}")
     return {
-        entry["fullname"]: entry["stats"]["mean"]
+        entry["fullname"]: entry["stats"][stat]
         for entry in payload.get("benchmarks", [])
     }
+
+
+def emit_snapshot(current: Path, destination: Path) -> None:
+    """Write a compact per-bench median snapshot (committed at the repo
+    root as ``BENCH_PR<n>.json``, one file per perf-focused PR, so the
+    history of intentional perf changes stays greppable)."""
+    medians = load_medians(current)
+    snapshot = {
+        "source": current.name,
+        "stat": "median_seconds",
+        "benchmarks": {name: medians[name] for name in sorted(medians)},
+    }
+    destination.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"snapshot: {len(medians)} benchmark median(s) -> {destination}")
 
 
 def main(argv=None) -> int:
@@ -69,7 +94,18 @@ def main(argv=None) -> int:
         default=0.001,
         help="baseline means below this floor are compared against the floor",
     )
+    parser.add_argument(
+        "--emit-snapshot",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write a per-bench median snapshot (e.g. BENCH_PR4.json) "
+        "from the current run",
+    )
     arguments = parser.parse_args(argv)
+
+    if arguments.emit_snapshot is not None:
+        emit_snapshot(arguments.current, arguments.emit_snapshot)
 
     baseline = load_means(arguments.baseline)
     current = load_means(arguments.current)

@@ -52,6 +52,7 @@ class InvertibilityReport:
     quasi_subset_property: SubsetPropertyReport
     coverage: str = COVERAGE_EXHAUSTIVE
     instances_checked: int = 0
+    orbits_checked: int = 0
 
     @property
     def exhaustive(self) -> bool:
@@ -90,6 +91,7 @@ def invertibility_report(
     *,
     workers: Optional[int] = None,
     budget: Optional[Budget] = None,
+    symmetry: Optional[str] = None,
 ) -> InvertibilityReport:
     """Run every invertibility criterion over *universe*.
 
@@ -97,15 +99,24 @@ def invertibility_report(
     :class:`~repro.engine.parallel.ParallelUniverseRunner`; the report
     is identical for every worker count.  *budget* (default: ambient,
     else environment) is shared by the bounded sweeps; a trip degrades
-    the report's ``coverage`` instead of raising.
+    the report's ``coverage`` instead of raising.  *symmetry*
+    (default: ``REPRO_SYMMETRY``) selects full or orbit-reduced sweeps
+    for both bounded checks; ``orbits_checked`` aggregates their orbit
+    counters.
     """
     equivalence = SolutionEquivalence(mapping)
     unique_verdict = unique_solutions_property(
-        mapping, universe, workers=workers, budget=budget
+        mapping, universe, workers=workers, budget=budget, symmetry=symmetry
     )
     unique, violations = unique_verdict
     subset = subset_property(
-        mapping, equivalence, equivalence, universe, workers=workers, budget=budget
+        mapping,
+        equivalence,
+        equivalence,
+        universe,
+        workers=workers,
+        budget=budget,
+        symmetry=symmetry,
     )
     return InvertibilityReport(
         mapping_name=mapping.name or str(mapping),
@@ -118,4 +129,5 @@ def invertibility_report(
         coverage=worst_coverage(unique_verdict.coverage, subset.coverage),
         instances_checked=unique_verdict.instances_checked
         + subset.instances_checked,
+        orbits_checked=unique_verdict.orbits_checked + subset.orbits_checked,
     )

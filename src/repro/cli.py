@@ -26,6 +26,13 @@ a resumable journal of verified sweep prefixes and ``--resume`` honours
 it on the next run.  When a limit trips, checks report *partial*
 verdicts instead of crashing.
 
+``--symmetry orbits`` (the ``REPRO_SYMMETRY`` knob) makes every
+bounded sweep enumerate one representative per domain-permutation
+orbit instead of every universe instance — same verdicts, up to
+|domain|! less work — falling back to full sweeps wherever the
+reduction would be unsound (mappings mentioning literal constants,
+universes not closed under permutation).
+
 Exit codes: 0 — everything passed exhaustively; 1 — a check failed;
 2 — usage error; 3 — no failures, but at least one sweep stopped early
 on a deadline/budget (coverage ``"deadline"`` / ``"budget"``);
@@ -235,6 +242,14 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="resume sweeps from the --checkpoint journal instead of restarting",
     )
+    parser.add_argument(
+        "--symmetry",
+        choices=("full", "orbits"),
+        default=None,
+        help="sweep every universe instance (full, the default) or one "
+        "representative per domain-permutation orbit (orbits); orbit "
+        "sweeps fall back to full where the reduction would be unsound",
+    )
 
 
 def _configure_engine(arguments: argparse.Namespace) -> None:
@@ -253,6 +268,7 @@ def _configure_engine(arguments: argparse.Namespace) -> None:
         ("max_chase_steps", "REPRO_MAX_CHASE_STEPS"),
         ("max_rss_mb", "REPRO_MAX_RSS_MB"),
         ("checkpoint", "REPRO_CHECKPOINT"),
+        ("symmetry", "REPRO_SYMMETRY"),
     ):
         value = getattr(arguments, flag, None)
         if value is not None:

@@ -42,6 +42,12 @@ from repro.engine.budget import (
 from repro.engine.checkpoint import CheckpointJournal, default_journal, sweep_key
 from repro.engine.instrumentation import engine_stats
 from repro.engine.parallel import ParallelUniverseRunner, get_shared
+from repro.engine.symmetry import (
+    SweepPlan,
+    mapping_permutation_invariant,
+    plan_sweep,
+    use_ground_keys,
+)
 from repro.errors import BudgetExceeded, WorkerFault, governed_coverage
 
 
@@ -77,6 +83,42 @@ class SolutionEquivalence:
         return f"∼{self.mapping.name or 'M'}"
 
 
+def _relation_permutation_invariant(relation: EquivalenceRelation) -> bool:
+    """Is *relation* invariant under permutations of the constants?
+
+    Equality always is; a solution-space relation inherits invariance
+    from its mapping.  Unknown custom relations are conservatively
+    treated as non-invariant, which keeps their sweeps on the full
+    universe.
+    """
+    if isinstance(relation, Equality):
+        return True
+    mapping = getattr(relation, "mapping", None)
+    if mapping is not None and hasattr(mapping, "dependencies"):
+        return mapping_permutation_invariant(mapping)
+    return False
+
+
+def _plan_sweep(
+    symmetry: Optional[str],
+    universe: Sequence[Instance],
+    *,
+    mappings: Sequence[SchemaMapping] = (),
+    relations: Sequence[EquivalenceRelation] = (),
+) -> SweepPlan:
+    """:func:`repro.engine.symmetry.plan_sweep`, additionally vetoing
+    the reduction when any equivalence relation involved is not known
+    to be permutation-invariant."""
+    return plan_sweep(
+        symmetry,
+        universe,
+        mappings=mappings,
+        extra_invariant=all(
+            _relation_permutation_invariant(rel) for rel in relations
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class SubsetPropertyReport:
     """Outcome of a bounded (∼1,∼2)-subset property check.
@@ -92,6 +134,13 @@ class SubsetPropertyReport:
     sweep, ``holds`` speaks only for the ``instances_checked`` leading
     universe instances actually examined (cumulative across resumed
     runs).
+
+    ``orbits_checked`` is non-zero only for symmetry-reduced sweeps
+    (``symmetry="orbits"``): the orbit representatives examined, with
+    ``instances_checked`` counting the universe instances they stand
+    for.  Violations then name representatives — concrete, replayable
+    instances; :func:`repro.engine.symmetry.orbit_transport` carries
+    them onto any other orbit member.
     """
 
     holds: bool
@@ -99,6 +148,7 @@ class SubsetPropertyReport:
     violations: Tuple[Tuple[Instance, Instance], ...] = ()
     coverage: str = COVERAGE_EXHAUSTIVE
     instances_checked: int = 0
+    orbits_checked: int = 0
 
     @property
     def exhaustive(self) -> bool:
@@ -168,6 +218,7 @@ def subset_property(
     workers: Optional[int] = None,
     budget: Optional[Budget] = None,
     checkpoint: Optional[CheckpointJournal] = None,
+    symmetry: Optional[str] = None,
 ) -> SubsetPropertyReport:
     """Bounded check of the (∼1,∼2)-subset property (Definition 3.4).
 
@@ -186,6 +237,15 @@ def subset_property(
     partial ``coverage`` instead of an exception.  *checkpoint*
     (default: the ``REPRO_CHECKPOINT`` journal) records the verified
     prefix so an interrupted sweep resumes where it stopped.
+
+    *symmetry* (default: ``REPRO_SYMMETRY``, else ``"full"``): with
+    ``"orbits"``, only one representative per domain-permutation
+    orbit enters the outer loop — sound because the property is
+    invariant under constant renaming for permutation-invariant
+    mappings and relations; the inner (witness) quantifiers still
+    range over the full pools.  Unsound situations (literal constants
+    in a mapping, a non-closed universe) silently fall back to the
+    full sweep.
     """
     universe = list(universe)
     witnesses = (
@@ -193,6 +253,10 @@ def subset_property(
         if witness_universe is not None
         else _default_witnesses(universe)
     )
+    plan = _plan_sweep(
+        symmetry, universe, mappings=(mapping,), relations=(relation1, relation2)
+    )
+    outer = plan.outer
     budget = _resolve_budget(budget)
     journal = checkpoint if checkpoint is not None else default_journal()
     key = sweep_key(
@@ -202,8 +266,9 @@ def subset_property(
         relation2,
         len(universe),
         len(witnesses),
+        plan.mode,
     )
-    start = journal.resume_index(key, len(universe)) if journal else 0
+    start = journal.resume_index(key, len(outer)) if journal else 0
     prior = (
         journal.prior_verdict(key)
         if journal and start
@@ -212,7 +277,9 @@ def subset_property(
     runner = ParallelUniverseRunner(workers)
     shared = (mapping, relation1, relation2, universe, witnesses)
     checked = 0
-    instances_checked = start
+    position = start
+    instances_checked = plan.covered_upto(start)
+    orbits_checked = start if plan.reduced else 0
     coverage = COVERAGE_EXHAUSTIVE
     violations: List[Tuple[Instance, Instance]] = []
 
@@ -223,25 +290,28 @@ def subset_property(
             tuple(violations),
             coverage=coverage,
             instances_checked=instances_checked,
+            orbits_checked=orbits_checked,
         )
 
     def note_progress(flush: bool = False) -> None:
         if journal is not None:
             journal.record(
                 key,
-                verified_upto=instances_checked,
-                total=len(universe),
+                verified_upto=position,
+                total=len(outer),
                 ok=prior["ok"] and not violations,
                 violations=prior["violations"] + len(violations),
                 flush=flush,
             )
 
-    with engine_stats().phase("check.subset_property"), use_budget(budget):
+    with engine_stats().phase("check.subset_property"), use_budget(
+        budget
+    ), use_ground_keys(plan.ground_keys):
         results = runner.map_iter(
-            _subset_property_task, universe[start:], shared=shared, budget=budget
+            _subset_property_task, outer[start:], shared=shared, budget=budget
         )
         try:
-            for left, events in zip(universe[start:], results):
+            for left, events in zip(outer[start:], results):
                 for right, witnessed in events:
                     checked += 1
                     if witnessed:
@@ -252,12 +322,15 @@ def subset_property(
                         if journal is not None:
                             journal.complete(
                                 key,
-                                total=len(universe),
+                                total=len(outer),
                                 ok=False,
                                 violations=prior["violations"] + len(violations),
                             )
                         return report(False)
-                instances_checked += 1
+                instances_checked += plan.weight_of(position)
+                position += 1
+                if plan.reduced:
+                    orbits_checked += 1
                 note_progress()
         except (BudgetExceeded, WorkerFault) as error:
             coverage = governed_coverage(error)
@@ -271,7 +344,7 @@ def subset_property(
     if journal is not None:
         journal.complete(
             key,
-            total=len(universe),
+            total=len(outer),
             ok=prior["ok"] and not violations,
             violations=prior["violations"] + len(violations),
         )
@@ -309,12 +382,31 @@ def _unique_solutions_task(index: int) -> List[Tuple[Instance, Instance]]:
     ]
 
 
+def _unique_solutions_orbit_task(index: int) -> List[Tuple[Instance, Instance]]:
+    """Per-representative worker for orbit-mode sweeps: ∼M-equivalent
+    pairs (rep, right) with right ranging over the *full* universe.
+
+    The upper-triangle cut of the full sweep would be unsound here — a
+    permuted copy π(I) of a later universe instance can precede the
+    orbit representative in universe order — so the inner loop instead
+    compares the representative against every *other* instance.
+    """
+    mapping, representatives, ordered = get_shared()
+    left = representatives[index]
+    return [
+        (left, right)
+        for right in ordered
+        if left != right and data_exchange_equivalent(mapping, left, right)
+    ]
+
+
 def unique_solutions_property(
     mapping: SchemaMapping,
     universe: Sequence[Instance],
     *,
     workers: Optional[int] = None,
     budget: Optional[Budget] = None,
+    symmetry: Optional[str] = None,
 ) -> Tuple[bool, Tuple[Tuple[Instance, Instance], ...]]:
     """Bounded check of the unique-solutions property (from [3]).
 
@@ -327,24 +419,45 @@ def unique_solutions_property(
     it unpacks as the historical 2-tuple and additionally carries
     ``coverage`` / ``instances_checked`` when a *budget* (explicit,
     ambient, or environment-configured) cuts the sweep short.
+
+    In ``symmetry="orbits"`` mode only orbit representatives drive the
+    outer loop (the inner loop still ranges over the full universe, so
+    the verdict matches the full sweep exactly); ``orbits_checked`` on
+    the verdict counts them.
     """
     ordered = list(universe)
+    plan = _plan_sweep(symmetry, ordered, mappings=(mapping,))
     budget = _resolve_budget(budget)
     runner = ParallelUniverseRunner(workers)
     violations: List[Tuple[Instance, Instance]] = []
     coverage = COVERAGE_EXHAUSTIVE
     instances_checked = 0
-    with engine_stats().phase("check.unique_solutions"), use_budget(budget):
-        results = runner.map_iter(
-            _unique_solutions_task,
-            range(len(ordered)),
-            shared=(mapping, ordered),
-            budget=budget,
-        )
+    orbits_checked = 0
+    position = 0
+    with engine_stats().phase("check.unique_solutions"), use_budget(
+        budget
+    ), use_ground_keys(plan.ground_keys):
+        if plan.reduced:
+            results = runner.map_iter(
+                _unique_solutions_orbit_task,
+                range(len(plan.outer)),
+                shared=(mapping, plan.outer, ordered),
+                budget=budget,
+            )
+        else:
+            results = runner.map_iter(
+                _unique_solutions_task,
+                range(len(ordered)),
+                shared=(mapping, ordered),
+                budget=budget,
+            )
         try:
             for found in results:
                 violations.extend(found)
-                instances_checked += 1
+                instances_checked += plan.weight_of(position)
+                position += 1
+                if plan.reduced:
+                    orbits_checked += 1
         except (BudgetExceeded, WorkerFault) as error:
             coverage = governed_coverage(error)
             if coverage is None:
@@ -357,6 +470,7 @@ def unique_solutions_property(
         tuple(violations),
         coverage=coverage,
         instances_checked=instances_checked,
+        orbits_checked=orbits_checked,
     )
 
 
@@ -374,6 +488,8 @@ class InverseCheckReport:
     :class:`SubsetPropertyReport`: ``"exhaustive"`` means every pair
     was examined, anything else means the governance layer stopped the
     sweep after ``instances_checked`` left instances.
+    ``orbits_checked`` is non-zero only under ``symmetry="orbits"``,
+    counting the orbit representatives that drove the outer loop.
     """
 
     holds: bool
@@ -381,6 +497,7 @@ class InverseCheckReport:
     mismatches: Tuple[Tuple[Instance, Instance, str], ...] = ()
     coverage: str = COVERAGE_EXHAUSTIVE
     instances_checked: int = 0
+    orbits_checked: int = 0
 
     @property
     def exhaustive(self) -> bool:
@@ -397,6 +514,7 @@ def is_quasi_inverse(
     stop_at_first_mismatch: bool = True,
     workers: Optional[int] = None,
     budget: Optional[Budget] = None,
+    symmetry: Optional[str] = None,
 ) -> InverseCheckReport:
     """Bounded check that *candidate* is a quasi-inverse of *mapping*.
 
@@ -415,6 +533,7 @@ def is_quasi_inverse(
         max_nulls=max_nulls,
         stop_at_first_mismatch=stop_at_first_mismatch,
         budget=budget,
+        symmetry=symmetry,
     )
 
 
@@ -430,6 +549,7 @@ def is_generalized_inverse(
     stop_at_first_mismatch: bool = True,
     workers: Optional[int] = None,
     budget: Optional[Budget] = None,
+    symmetry: Optional[str] = None,
 ) -> InverseCheckReport:
     """Bounded check of Definition 3.3: is *candidate* a
     (∼1,∼2)-inverse of *mapping*?
@@ -443,12 +563,21 @@ def is_generalized_inverse(
 
     *budget* (default: ambient, else environment) governs the sweep;
     when it trips, the report carries partial ``coverage``.
+    ``symmetry="orbits"`` reduces the outer (I1) loop to orbit
+    representatives when both mappings and both relations are
+    permutation-invariant; the inner loops stay on the full pools.
     """
     universe = list(universe)
     witnesses = (
         list(witness_universe)
         if witness_universe is not None
         else _default_witnesses(universe)
+    )
+    plan = _plan_sweep(
+        symmetry,
+        universe,
+        mappings=(mapping, candidate),
+        relations=(relation1, relation2),
     )
     budget = _resolve_budget(budget)
     shared = (
@@ -460,11 +589,13 @@ def is_generalized_inverse(
         witnesses,
         max_nulls,
     )
-    with engine_stats().phase("check.generalized_inverse"), use_budget(budget):
+    with engine_stats().phase("check.generalized_inverse"), use_budget(
+        budget
+    ), use_ground_keys(plan.ground_keys):
         return _merge_inverse_events(
             ParallelUniverseRunner(workers),
             _generalized_inverse_task,
-            universe,
+            plan,
             shared,
             stop_at_first_mismatch,
             budget=budget,
@@ -556,7 +687,7 @@ def _is_inverse_task(left: Instance) -> _InverseEvents:
 def _merge_inverse_events(
     runner: ParallelUniverseRunner,
     task: Callable[[Instance], _InverseEvents],
-    universe: Sequence[Instance],
+    plan: SweepPlan,
     shared: Tuple,
     stop_at_first_mismatch: bool,
     *,
@@ -569,10 +700,15 @@ def _merge_inverse_events(
     Exceptions an algorithm raised in a worker are re-raised at their
     serial position; governed budget trips (deadline / instance cap /
     RSS) and recovered-from worker faults instead degrade the report
-    to a partial ``coverage``.
+    to a partial ``coverage``.  The outer stream is *plan*'s: orbit
+    representatives under a reduced plan (each advancing
+    ``instances_checked`` by its orbit size), the full universe
+    otherwise.
     """
     checked = 0
+    position = 0
     instances_checked = 0
+    orbits_checked = 0
     coverage = COVERAGE_EXHAUSTIVE
     mismatches: List[Tuple[Instance, Instance, str]] = []
 
@@ -583,11 +719,12 @@ def _merge_inverse_events(
             tuple(mismatches),
             coverage=coverage,
             instances_checked=instances_checked,
+            orbits_checked=orbits_checked,
         )
 
-    results = runner.map_iter(task, universe, shared=shared, budget=budget)
+    results = runner.map_iter(task, plan.outer, shared=shared, budget=budget)
     try:
-        for left, (events, error) in zip(universe, results):
+        for left, (events, error) in zip(plan.outer, results):
             for right, in_id, in_comp in events:
                 checked += 1
                 if in_id == in_comp:
@@ -605,7 +742,10 @@ def _merge_inverse_events(
                 coverage = governed
                 record_coverage(phase, coverage, str(error), instances_checked)
                 return report(not mismatches)
-            instances_checked += 1
+            instances_checked += plan.weight_of(position)
+            position += 1
+            if plan.reduced:
+                orbits_checked += 1
     except (BudgetExceeded, WorkerFault) as error:
         coverage = governed_coverage(error)
         if coverage is None:
@@ -624,6 +764,7 @@ def is_inverse(
     stop_at_first_mismatch: bool = True,
     workers: Optional[int] = None,
     budget: Optional[Budget] = None,
+    symmetry: Optional[str] = None,
 ) -> InverseCheckReport:
     """Bounded check that *candidate* is an inverse of *mapping*.
 
@@ -634,15 +775,20 @@ def is_inverse(
 
     *budget* (default: ambient, else environment) governs the sweep;
     when it trips, the report carries partial ``coverage``.
+    ``symmetry="orbits"`` reduces the outer loop to orbit
+    representatives when both mappings are permutation-invariant.
     """
     universe = list(universe)
+    plan = _plan_sweep(symmetry, universe, mappings=(mapping, candidate))
     budget = _resolve_budget(budget)
     shared = (mapping, candidate, universe, max_nulls)
-    with engine_stats().phase("check.is_inverse"), use_budget(budget):
+    with engine_stats().phase("check.is_inverse"), use_budget(
+        budget
+    ), use_ground_keys(plan.ground_keys):
         return _merge_inverse_events(
             ParallelUniverseRunner(workers),
             _is_inverse_task,
-            universe,
+            plan,
             shared,
             stop_at_first_mismatch,
             budget=budget,

@@ -53,6 +53,14 @@ class SchemaMapping:
         object.__setattr__(self, "dependencies", tuple(self.dependencies))
         for dependency in self.dependencies:
             dependency.validate(self.source, self.target)
+        # mappings key the weak memo tables consulted on every chase /
+        # verdict lookup; the generated hash walks every dependency
+        object.__setattr__(
+            self, "_hash", hash((self.source, self.target, self.dependencies))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # -- construction ------------------------------------------------------
 
@@ -205,6 +213,14 @@ def solutions_contained(
     addressed: the key is sound under independent renamings of either
     side's nulls, because a homomorphism never constrains where a
     null maps (even one shared between the two instances).
+
+    Pair verdicts deliberately do *not* key by joint canonical form
+    under orbit-mode sweeps: orbit reduction already deduplicates the
+    outer loop, so the residual sharing between exact pairs (bounded
+    by the representative's stabilizer) is worth less than the joint
+    canonicalization costs.  Orbit-level sharing happens one layer
+    down, in the symmetry-keyed chase cache the verdicts build on
+    (:func:`repro.engine.cache.cached_chase_result`).
     """
     key = (
         "sol-contained",

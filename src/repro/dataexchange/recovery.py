@@ -36,6 +36,7 @@ from repro.engine.budget import (
 from repro.engine.checkpoint import CheckpointJournal, default_journal, sweep_key
 from repro.engine.instrumentation import engine_stats
 from repro.engine.parallel import ParallelUniverseRunner, get_shared
+from repro.engine.symmetry import plan_sweep, use_ground_keys
 from repro.errors import BudgetExceeded, WorkerFault, governed_coverage
 
 
@@ -165,6 +166,7 @@ def _sweep(
     label: str,
     budget: Optional[Budget] = None,
     checkpoint: Optional[CheckpointJournal] = None,
+    symmetry: Optional[str] = None,
 ) -> SweepVerdict:
     """Fan the Figure-1 round trip out over *instances* and collect,
     in input order, those whose verdict fails *keep*.
@@ -176,8 +178,15 @@ def _sweep(
     over the instances already judged; *checkpoint* (default: the
     ``REPRO_CHECKPOINT`` journal) lets an interrupted sweep resume
     from the verified prefix.
+
+    The per-instance verdict is invariant under constant permutation
+    whenever both mappings are (chases commute with renaming, and
+    homomorphism existence between renamed instances is unchanged), so
+    ``symmetry="orbits"`` sweeps one representative per orbit; listed
+    violators are then representatives of violating orbits.
     """
     ordered = list(instances)
+    plan = plan_sweep(symmetry, ordered, mappings=(mapping, reverse_mapping))
     budget = _resolve_budget(budget)
     journal = checkpoint if checkpoint is not None else default_journal()
     key = sweep_key(
@@ -185,8 +194,9 @@ def _sweep(
         mapping.name or mapping,
         reverse_mapping.name or reverse_mapping,
         len(ordered),
+        plan.mode,
     )
-    start = journal.resume_index(key, len(ordered)) if journal else 0
+    start = journal.resume_index(key, len(plan.outer)) if journal else 0
     prior = (
         journal.prior_verdict(key)
         if journal and start
@@ -194,32 +204,39 @@ def _sweep(
     )
     runner = ParallelUniverseRunner(workers)
     coverage = COVERAGE_EXHAUSTIVE
-    instances_checked = start
+    position = start
+    instances_checked = plan.covered_upto(start)
+    orbits_checked = start if plan.reduced else 0
     violators: List[Instance] = []
 
     def note_progress(flush: bool = False) -> None:
         if journal is not None:
             journal.record(
                 key,
-                verified_upto=instances_checked,
-                total=len(ordered),
+                verified_upto=position,
+                total=len(plan.outer),
                 ok=prior["ok"] and not violators,
                 violations=prior["violations"] + len(violators),
                 flush=flush,
             )
 
-    with engine_stats().phase("check.round_trips"), use_budget(budget):
+    with engine_stats().phase("check.round_trips"), use_budget(
+        budget
+    ), use_ground_keys(plan.ground_keys):
         results = runner.map_iter(
             _round_trip_task,
-            ordered[start:],
+            plan.outer[start:],
             shared=(mapping, reverse_mapping),
             budget=budget,
         )
         try:
-            for instance, verdict in zip(ordered[start:], results):
+            for instance, verdict in zip(plan.outer[start:], results):
                 if not keep(verdict):
                     violators.append(instance)
-                instances_checked += 1
+                instances_checked += plan.weight_of(position)
+                position += 1
+                if plan.reduced:
+                    orbits_checked += 1
                 note_progress()
         except (BudgetExceeded, WorkerFault) as error:
             coverage = governed_coverage(error)
@@ -232,11 +249,12 @@ def _sweep(
                 tuple(violators),
                 coverage=coverage,
                 instances_checked=instances_checked,
+                orbits_checked=orbits_checked,
             )
     if journal is not None:
         journal.complete(
             key,
-            total=len(ordered),
+            total=len(plan.outer),
             ok=prior["ok"] and not violators,
             violations=prior["violations"] + len(violators),
         )
@@ -245,6 +263,7 @@ def _sweep(
         tuple(violators),
         coverage=coverage,
         instances_checked=instances_checked,
+        orbits_checked=orbits_checked,
     )
 
 
@@ -256,6 +275,7 @@ def sound_on(
     workers: Optional[int] = None,
     budget: Optional[Budget] = None,
     checkpoint: Optional[CheckpointJournal] = None,
+    symmetry: Optional[str] = None,
 ) -> Tuple[bool, Tuple[Instance, ...]]:
     """Check soundness over many instances; returns (ok, violators).
 
@@ -271,6 +291,7 @@ def sound_on(
         label="check.sound_on",
         budget=budget,
         checkpoint=checkpoint,
+        symmetry=symmetry,
     )
 
 
@@ -282,6 +303,7 @@ def faithful_on(
     workers: Optional[int] = None,
     budget: Optional[Budget] = None,
     checkpoint: Optional[CheckpointJournal] = None,
+    symmetry: Optional[str] = None,
 ) -> Tuple[bool, Tuple[Instance, ...]]:
     """Check faithfulness over many instances; returns (ok, violators).
 
@@ -297,6 +319,7 @@ def faithful_on(
         label="check.faithful_on",
         budget=budget,
         checkpoint=checkpoint,
+        symmetry=symmetry,
     )
 
 

@@ -21,6 +21,15 @@ class Atom:
     relation: str
     args: Tuple[Term, ...]
 
+    def __post_init__(self) -> None:
+        # atoms live inside the frozensets every cache key and
+        # instance is built from; precomputing the hash makes those
+        # constructions (and dict probes) O(1) per atom
+        object.__setattr__(self, "_hash", hash((self.relation, self.args)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     @property
     def arity(self) -> int:
         return len(self.args)

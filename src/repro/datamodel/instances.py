@@ -47,6 +47,10 @@ class Instance:
             for name, atoms in grouped.items()
         }
         object.__setattr__(self, "_by_relation", index)
+        object.__setattr__(self, "_hash", hash(self.facts))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # -- construction -------------------------------------------------
 

@@ -29,6 +29,14 @@ class Constant:
 
     _KIND_RANK = 0
 
+    def __post_init__(self) -> None:
+        # terms are hashed millions of times per sweep (every fact
+        # set, cache key, and substitution); pay for it once
+        object.__setattr__(self, "_hash", hash((self._KIND_RANK, self.value)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def sort_key(self) -> Tuple[int, str]:
         key = self.__dict__.get("_sort_key")
         if key is None:
@@ -58,6 +66,12 @@ class Null:
 
     _KIND_RANK = 1
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self._KIND_RANK, self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def sort_key(self) -> Tuple[int, str]:
         key = self.__dict__.get("_sort_key")
         if key is None:
@@ -82,6 +96,12 @@ class Variable:
     name: str
 
     _KIND_RANK = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self._KIND_RANK, self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def sort_key(self) -> Tuple[int, str]:
         key = self.__dict__.get("_sort_key")

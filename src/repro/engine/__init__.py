@@ -22,7 +22,10 @@ fast:
   instance cap, chase-step cap, RSS watermark) that degrade blown-up
   sweeps into partial verdicts instead of lost work;
 * :mod:`repro.engine.checkpoint` — a journal of verified instance
-  ranges so interrupted sweeps resume where they stopped.
+  ranges so interrupted sweeps resume where they stopped;
+* :mod:`repro.engine.symmetry` — canonical forms of ground instances
+  under domain permutation, orbit-reduced sweep plans (the
+  ``--symmetry orbits`` mode), and symmetry-aware cache keys.
 
 The package depends only on :mod:`repro.datamodel` and
 :mod:`repro.errors`; the chase, core, analysis, and data-exchange
@@ -67,6 +70,30 @@ from repro.engine.parallel import (
     fork_available,
     set_default_workers,
 )
+from repro.engine.symmetry import (
+    SYMMETRY_FULL,
+    SYMMETRY_MODES,
+    SYMMETRY_ORBITS,
+    GroundCanonicalForm,
+    OrbitClass,
+    OrbitRepresentative,
+    SweepPlan,
+    canonical_instances,
+    canonical_representative,
+    count_orbits,
+    decanonicalize,
+    default_symmetry,
+    ground_canonical_form,
+    ground_keys_active,
+    ground_pair_key,
+    mapping_permutation_invariant,
+    orbit_count_estimate,
+    orbit_reduce,
+    orbit_transport,
+    plan_sweep,
+    resolve_symmetry,
+    use_ground_keys,
+)
 
 __all__ = [
     "Budget",
@@ -75,31 +102,53 @@ __all__ = [
     "CoverageEvent",
     "EngineStats",
     "FactIndex",
+    "GroundCanonicalForm",
     "MemoCache",
+    "OrbitClass",
+    "OrbitRepresentative",
     "ParallelUniverseRunner",
+    "SYMMETRY_FULL",
+    "SYMMETRY_MODES",
+    "SYMMETRY_ORBITS",
+    "SweepPlan",
     "SweepVerdict",
     "all_cache_stats",
     "cached_chase_result",
+    "canonical_instances",
     "canonical_key",
+    "canonical_representative",
     "canonicalize_instance",
     "chase_cache",
+    "count_orbits",
     "coverage_events",
     "current_budget",
+    "decanonicalize",
     "default_journal",
+    "default_symmetry",
     "default_task_timeout",
     "default_workers",
     "engine_stats",
     "fact_index",
     "fork_available",
+    "ground_canonical_form",
+    "ground_keys_active",
+    "ground_pair_key",
     "mapping_key",
+    "mapping_permutation_invariant",
+    "orbit_count_estimate",
+    "orbit_reduce",
+    "orbit_transport",
+    "plan_sweep",
     "record_coverage",
     "reset_all_caches",
     "reset_coverage_events",
     "reset_engine_stats",
     "resize_caches",
+    "resolve_symmetry",
     "set_default_workers",
     "sweep_key",
     "use_budget",
+    "use_ground_keys",
     "verdict_cache",
     "worst_coverage",
 ]

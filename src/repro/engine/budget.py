@@ -316,10 +316,18 @@ def reset_coverage_events() -> None:
 
 
 def _rebuild_sweep_verdict(
-    ok: bool, violators: Any, coverage: str, instances_checked: int
+    ok: bool,
+    violators: Any,
+    coverage: str,
+    instances_checked: int,
+    orbits_checked: int = 0,
 ) -> "SweepVerdict":
     return SweepVerdict(
-        ok, violators, coverage=coverage, instances_checked=instances_checked
+        ok,
+        violators,
+        coverage=coverage,
+        instances_checked=instances_checked,
+        orbits_checked=orbits_checked,
     )
 
 
@@ -330,10 +338,16 @@ class SweepVerdict(tuple):
     returned (``ok, violators = sound_on(...)``) while carrying the
     ``coverage`` status and ``instances_checked`` counter of the
     fault-tolerance layer as attributes.
+
+    ``orbits_checked`` is non-zero only for symmetry-reduced sweeps:
+    the number of orbit representatives actually examined, while
+    ``instances_checked`` counts the universe instances those
+    representatives stand for (their summed orbit weights).
     """
 
     coverage: str
     instances_checked: int
+    orbits_checked: int
 
     def __new__(
         cls,
@@ -342,10 +356,12 @@ class SweepVerdict(tuple):
         *,
         coverage: str = COVERAGE_EXHAUSTIVE,
         instances_checked: int = 0,
+        orbits_checked: int = 0,
     ) -> "SweepVerdict":
         self = super().__new__(cls, (ok, violators))
         self.coverage = coverage
         self.instances_checked = instances_checked
+        self.orbits_checked = orbits_checked
         return self
 
     @property
@@ -363,14 +379,21 @@ class SweepVerdict(tuple):
     def __reduce__(self):
         return (
             _rebuild_sweep_verdict,
-            (self[0], self[1], self.coverage, self.instances_checked),
+            (
+                self[0],
+                self[1],
+                self.coverage,
+                self.instances_checked,
+                self.orbits_checked,
+            ),
         )
 
     def __repr__(self) -> str:
         return (
             f"SweepVerdict(ok={self[0]!r}, violators={self[1]!r}, "
             f"coverage={self.coverage!r}, "
-            f"instances_checked={self.instances_checked})"
+            f"instances_checked={self.instances_checked}, "
+            f"orbits_checked={self.orbits_checked})"
         )
 
 

@@ -29,6 +29,12 @@ from typing import Any, Callable, Dict, FrozenSet, Hashable, List, Optional, Tup
 from repro.datamodel.atoms import Atom
 from repro.datamodel.instances import Instance
 from repro.datamodel.terms import Constant, Null, Term, Variable
+from repro.engine.symmetry import (
+    clear_symmetry_memos,
+    ground_canonical_form,
+    ground_keys_active,
+    mapping_permutation_invariant,
+)
 
 
 @dataclass
@@ -118,6 +124,7 @@ def all_cache_stats() -> List[CacheStats]:
 def reset_all_caches() -> None:
     for cache in _REGISTRY:
         cache.clear()
+    clear_symmetry_memos()
 
 
 def resize_caches(maxsize: int) -> None:
@@ -193,6 +200,28 @@ def mapping_key(mapping: Any) -> Hashable:
     return key
 
 
+_MAPPING_INVARIANT: "weakref.WeakKeyDictionary[Any, bool]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def symmetry_keys_apply(mapping: Any) -> bool:
+    """Should this call key ground instances by constant-canonical form?
+
+    True only when an orbit-mode sweep installed the ground-key
+    context *and* the mapping is permutation-invariant (no literal
+    constants in its dependencies) — the condition under which
+    ``chase(π(I)) = π(chase(I))`` holds for every constant bijection π.
+    """
+    if not ground_keys_active():
+        return False
+    invariant = _MAPPING_INVARIANT.get(mapping)
+    if invariant is None:
+        invariant = mapping_permutation_invariant(mapping)
+        _MAPPING_INVARIANT[mapping] = invariant
+    return invariant
+
+
 # -- the chase cache ------------------------------------------------------
 
 chase_cache = MemoCache("chase", maxsize=16_384)
@@ -243,7 +272,34 @@ def cached_chase_result(
     input or are chase-fresh.  On an isomorphic hit the cached result
     is renamed back onto the caller's terms, so the returned instance
     is always one *compute* could have produced directly.
+
+    Under an orbit-mode sweep (:func:`symmetry_keys_apply`), ground
+    instances additionally key by their canonical form under constant
+    permutation, so the chases of *every* member of an instance orbit
+    share one entry.  The caching is two-level: the exact fact set
+    first (so repeat calls skip canonicalization entirely), then the
+    canonical form; on a canonical hit the cached result's placeholder
+    constants are renamed back through the canonical bijection once
+    and the translation stored under the exact key.
     """
+    if instance.is_ground() and symmetry_keys_apply(mapping):
+        exact_key = (mapping_key(mapping), instance.facts)
+        hit, cached = chase_cache.get(exact_key)
+        if hit:
+            return cached
+        form = ground_canonical_form(instance)
+        sym_key = ("sym", mapping_key(mapping), form.key())
+        hit, canonical_result = chase_cache.get(sym_key)
+        if not hit:
+            canonical_result = compute(form.canonical)
+            chase_cache.put(sym_key, canonical_result)
+        result = (
+            canonical_result
+            if not form.forward
+            else _translate_back(canonical_result, instance, form.forward)
+        )
+        chase_cache.put(exact_key, result)
+        return result
     canonical, forward = canonicalize_instance(instance)
     key = (mapping_key(mapping), canonical.facts)
     hit, cached = chase_cache.get(key)

@@ -58,9 +58,20 @@ def power_instances(
     sizes = range(0 if include_empty else 1, max_facts + 1)
     total = sum(comb(len(facts), size) for size in sizes)
     if total > cap:
+        from repro.engine.symmetry import orbit_count_estimate
+
+        orbits, exact = orbit_count_estimate(
+            facts, domain, max_facts=max_facts, include_empty=include_empty
+        )
+        qualifier = "" if exact else "at least "
+        hint = (
+            f"; an orbit-reduced sweep (symmetry=\"orbits\") would visit "
+            f"{qualifier}{orbits} representatives"
+        )
         raise UniverseTooLarge(
             f"universe over {schema} with |domain|={len(domain)} and "
-            f"max_facts={max_facts} has {total} instances, exceeding cap={cap}",
+            f"max_facts={max_facts} has {total} instances, exceeding "
+            f"cap={cap}{hint}",
             kind="universe",
             limit=cap,
             consumed=total,
