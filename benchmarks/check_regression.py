@@ -25,6 +25,14 @@ Refreshing the baseline (after an intentional perf change)::
 and commit with a note on what changed.  The baseline should always
 be regenerated with ``BENCH_QUICK=1`` so its benchmark set matches
 what CI runs.
+
+The bench-kernel job gates against its own baseline
+(``benchmarks/baseline_kernel.json``); refresh it the same way::
+
+    BENCH_QUICK=1 PYTHONPATH=src python -m pytest \
+        benchmarks/bench_kernel.py \
+        --benchmark-only --benchmark-json=benchmarks/baseline_kernel.json
+    git add benchmarks/baseline_kernel.json
 """
 
 from __future__ import annotations

@@ -92,6 +92,7 @@ def invertibility_report(
     workers: Optional[int] = None,
     budget: Optional[Budget] = None,
     symmetry: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> InvertibilityReport:
     """Run every invertibility criterion over *universe*.
 
@@ -102,11 +103,18 @@ def invertibility_report(
     the report's ``coverage`` instead of raising.  *symmetry*
     (default: ``REPRO_SYMMETRY``) selects full or orbit-reduced sweeps
     for both bounded checks; ``orbits_checked`` aggregates their orbit
-    counters.
+    counters.  *backend* (default: ``REPRO_BACKEND``) selects the
+    object or compiled-kernel execution backend for both sweeps; the
+    report is identical either way.
     """
     equivalence = SolutionEquivalence(mapping)
     unique_verdict = unique_solutions_property(
-        mapping, universe, workers=workers, budget=budget, symmetry=symmetry
+        mapping,
+        universe,
+        workers=workers,
+        budget=budget,
+        symmetry=symmetry,
+        backend=backend,
     )
     unique, violations = unique_verdict
     subset = subset_property(
@@ -117,6 +125,7 @@ def invertibility_report(
         workers=workers,
         budget=budget,
         symmetry=symmetry,
+        backend=backend,
     )
     return InvertibilityReport(
         mapping_name=mapping.name or str(mapping),

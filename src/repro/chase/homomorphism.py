@@ -35,6 +35,7 @@ from repro.datamodel.instances import Instance
 from repro.datamodel.terms import Constant, Null, Term, Variable
 from repro.engine.budget import current_budget
 from repro.engine.indexing import fact_index
+from repro.engine.kernel import kernel_active, kernel_all_homomorphisms
 
 Assignment = Dict[Term, Term]
 
@@ -154,6 +155,14 @@ def all_homomorphisms(
     )
     base: Assignment = dict(fixed or {})
     if not _check_constraints(base, constant_vars, inequalities):
+        return
+    if kernel_active():
+        # The compiled backend replays the same greedy atom order and
+        # candidate selection over interned ids; results and result
+        # order are identical (tests/properties/test_backend_equivalence).
+        yield from kernel_all_homomorphisms(
+            tuple(atoms), target, base, constant_vars, inequalities
+        )
         return
     ordered = _order_atoms(atoms, target, set(base))
     target_index = fact_index(target)

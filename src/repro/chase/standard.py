@@ -27,6 +27,7 @@ from repro.datamodel.instances import Instance
 from repro.datamodel.terms import Null, Term
 from repro.dependencies.dependency import Dependency
 from repro.engine.budget import current_budget
+from repro.engine.kernel import kernel_active, sorted_premise_matches
 from repro.errors import ChaseError
 
 
@@ -74,8 +75,12 @@ class ChaseResult:
 
 def _sorted_matches(
     dependency: Dependency, instance: Instance
-) -> List[Assignment]:
+) -> Sequence[Assignment]:
     """Premise matches in a deterministic order (by matched images)."""
+    if kernel_active():
+        # Same matches, same order — computed semi-naively over the
+        # sub-instance lattice when the instance is ground.
+        return sorted_premise_matches(dependency, instance)
     variables = dependency.premise_variables()
     matches = list(
         all_homomorphisms(

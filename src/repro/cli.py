@@ -33,6 +33,12 @@ orbit instead of every universe instance — same verdicts, up to
 reduction would be unsound (mappings mentioning literal constants,
 universes not closed under permutation).
 
+``--backend kernel`` (the ``REPRO_BACKEND`` knob) runs homomorphism
+searches, premise matching, and verdict caching on the compiled
+integer kernel (term interning + array join plans + a delta-driven
+chase) instead of interpreting the object datamodel — same verdicts,
+witnesses, and counters, typically several times faster on sweeps.
+
 Exit codes: 0 — everything passed exhaustively; 1 — a check failed;
 2 — usage error; 3 — no failures, but at least one sweep stopped early
 on a deadline/budget (coverage ``"deadline"`` / ``"budget"``);
@@ -250,6 +256,15 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "representative per domain-permutation orbit (orbits); orbit "
         "sweeps fall back to full where the reduction would be unsound",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("object", "kernel"),
+        default=None,
+        help="execution backend for bounded checks: interpret the object "
+        "datamodel directly (object, the default) or run compiled joins "
+        "over interned integer ids (kernel); verdicts and witnesses are "
+        "identical either way",
+    )
 
 
 def _configure_engine(arguments: argparse.Namespace) -> None:
@@ -269,6 +284,7 @@ def _configure_engine(arguments: argparse.Namespace) -> None:
         ("max_rss_mb", "REPRO_MAX_RSS_MB"),
         ("checkpoint", "REPRO_CHECKPOINT"),
         ("symmetry", "REPRO_SYMMETRY"),
+        ("backend", "REPRO_BACKEND"),
     ):
         value = getattr(arguments, flag, None)
         if value is not None:

@@ -41,6 +41,7 @@ from repro.engine.budget import (
 )
 from repro.engine.checkpoint import CheckpointJournal, default_journal, sweep_key
 from repro.engine.instrumentation import engine_stats
+from repro.engine.kernel import use_backend
 from repro.engine.parallel import ParallelUniverseRunner, get_shared
 from repro.engine.symmetry import (
     SweepPlan,
@@ -219,6 +220,7 @@ def subset_property(
     budget: Optional[Budget] = None,
     checkpoint: Optional[CheckpointJournal] = None,
     symmetry: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> SubsetPropertyReport:
     """Bounded check of the (∼1,∼2)-subset property (Definition 3.4).
 
@@ -246,6 +248,12 @@ def subset_property(
     range over the full pools.  Unsound situations (literal constants
     in a mapping, a non-closed universe) silently fall back to the
     full sweep.
+
+    *backend* (default: ``REPRO_BACKEND``, else ``"object"``): with
+    ``"kernel"``, homomorphism probes, premise matching, and verdict
+    keys run on the compiled integer kernel
+    (:mod:`repro.engine.kernel`) — identical verdicts and witnesses,
+    installed before the fan-out so forked workers inherit it.
     """
     universe = list(universe)
     witnesses = (
@@ -306,7 +314,7 @@ def subset_property(
 
     with engine_stats().phase("check.subset_property"), use_budget(
         budget
-    ), use_ground_keys(plan.ground_keys):
+    ), use_ground_keys(plan.ground_keys), use_backend(backend):
         results = runner.map_iter(
             _subset_property_task, outer[start:], shared=shared, budget=budget
         )
@@ -407,6 +415,7 @@ def unique_solutions_property(
     workers: Optional[int] = None,
     budget: Optional[Budget] = None,
     symmetry: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[bool, Tuple[Tuple[Instance, Instance], ...]]:
     """Bounded check of the unique-solutions property (from [3]).
 
@@ -436,7 +445,7 @@ def unique_solutions_property(
     position = 0
     with engine_stats().phase("check.unique_solutions"), use_budget(
         budget
-    ), use_ground_keys(plan.ground_keys):
+    ), use_ground_keys(plan.ground_keys), use_backend(backend):
         if plan.reduced:
             results = runner.map_iter(
                 _unique_solutions_orbit_task,
@@ -515,6 +524,7 @@ def is_quasi_inverse(
     workers: Optional[int] = None,
     budget: Optional[Budget] = None,
     symmetry: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> InverseCheckReport:
     """Bounded check that *candidate* is a quasi-inverse of *mapping*.
 
@@ -534,6 +544,7 @@ def is_quasi_inverse(
         stop_at_first_mismatch=stop_at_first_mismatch,
         budget=budget,
         symmetry=symmetry,
+        backend=backend,
     )
 
 
@@ -550,6 +561,7 @@ def is_generalized_inverse(
     workers: Optional[int] = None,
     budget: Optional[Budget] = None,
     symmetry: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> InverseCheckReport:
     """Bounded check of Definition 3.3: is *candidate* a
     (∼1,∼2)-inverse of *mapping*?
@@ -591,7 +603,7 @@ def is_generalized_inverse(
     )
     with engine_stats().phase("check.generalized_inverse"), use_budget(
         budget
-    ), use_ground_keys(plan.ground_keys):
+    ), use_ground_keys(plan.ground_keys), use_backend(backend):
         return _merge_inverse_events(
             ParallelUniverseRunner(workers),
             _generalized_inverse_task,
@@ -765,6 +777,7 @@ def is_inverse(
     workers: Optional[int] = None,
     budget: Optional[Budget] = None,
     symmetry: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> InverseCheckReport:
     """Bounded check that *candidate* is an inverse of *mapping*.
 
@@ -784,7 +797,7 @@ def is_inverse(
     shared = (mapping, candidate, universe, max_nulls)
     with engine_stats().phase("check.is_inverse"), use_budget(
         budget
-    ), use_ground_keys(plan.ground_keys):
+    ), use_ground_keys(plan.ground_keys), use_backend(backend):
         return _merge_inverse_events(
             ParallelUniverseRunner(workers),
             _is_inverse_task,

@@ -13,6 +13,7 @@ paper is built from:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Iterable, Optional, Sequence, Tuple
@@ -36,7 +37,13 @@ from repro.engine.cache import (
     mapping_key,
     verdict_cache,
 )
-from repro.engine.instrumentation import engine_stats
+from repro.engine.instrumentation import PhaseStats, engine_stats
+from repro.engine.kernel import (
+    kernel_active,
+    kernel_hom_exists,
+    kernel_instance,
+    small_id,
+)
 from repro.errors import MappingError
 
 
@@ -142,6 +149,35 @@ def _require_tgds(mapping: SchemaMapping, operation: str) -> None:
         )
 
 
+def _chase_compute(mapping: SchemaMapping):
+    def compute(source: Instance) -> Instance:
+        with engine_stats().phase("chase"):
+            result = chase(source, mapping.dependencies)
+        return result.instance.restrict_to(mapping.target)
+
+    return compute
+
+
+def _kernel_chase(mapping: SchemaMapping, instance: Instance, kinst):
+    """Chase-memo miss path for the kernel backend.
+
+    Computes the same cached value the object path would — the kernel
+    instance just carries a per-mapping pointer to it (paired with the
+    result's own kernel instance), so repeat lookups are one dict
+    probe instead of a canonical-key construction plus an LRU
+    round-trip."""
+    _require_tgds(mapping, "universal_solution")
+    compute = _chase_compute(mapping)
+    if kinst.is_ground:
+        result = cached_chase_result(mapping, instance, compute)
+    else:
+        key = ("exact", mapping_key(mapping), instance.facts)
+        result = chase_cache.memoize(key, lambda: compute(instance))
+    entry = (result, kernel_instance(result))
+    kinst.chase_memo[small_id(mapping)] = entry
+    return entry
+
+
 def universal_solution(mapping: SchemaMapping, instance: Instance) -> Instance:
     """chase_Sigma(I): a universal solution for *instance* under *mapping*.
 
@@ -151,13 +187,14 @@ def universal_solution(mapping: SchemaMapping, instance: Instance) -> Instance:
     already containing nulls or variables key by their exact facts,
     preserving the historical fresh-null naming of a direct chase.
     """
+    if kernel_active():
+        kinst = kernel_instance(instance)
+        entry = kinst.chase_memo.get(small_id(mapping))
+        if entry is None:
+            entry = _kernel_chase(mapping, instance, kinst)
+        return entry[0]
     _require_tgds(mapping, "universal_solution")
-
-    def compute(source: Instance) -> Instance:
-        with engine_stats().phase("chase"):
-            result = chase(source, mapping.dependencies)
-        return result.instance.restrict_to(mapping.target)
-
+    compute = _chase_compute(mapping)
     if instance.is_ground():
         return cached_chase_result(mapping, instance, compute)
     key = ("exact", mapping_key(mapping), instance.facts)
@@ -222,6 +259,10 @@ def solutions_contained(
     down, in the symmetry-keyed chase cache the verdicts build on
     (:func:`repro.engine.cache.cached_chase_result`).
     """
+    if kernel_active():
+        return _kernel_solutions_contained(
+            mapping, kernel_instance(inner), kernel_instance(outer), inner, outer
+        )
     key = (
         "sol-contained",
         mapping_key(mapping),
@@ -243,6 +284,62 @@ def solutions_contained(
     return verdict
 
 
+def _kernel_solutions_contained(
+    mapping: SchemaMapping, kinner, kouter, inner: Instance, outer: Instance
+) -> bool:
+    """Kernel twin of the :func:`solutions_contained` miss path.
+
+    Interned-id keys: for ground instances the canonical key IS the
+    exact fact set, so keying by the kernel instances' dense ids loses
+    no sharing — it only replaces two frozenset hashes with two ints
+    per probe.  The chase-memo probes and the id-native homomorphism
+    test return exactly what the object path computes."""
+    mid = small_id(mapping)
+    if kouter.is_ground and kinner.is_ground:
+        # Ground pairs memoize on the outer kernel instance itself
+        # (one dict probe) rather than through the LRU verdict cache.
+        memo = kouter.sol_memo
+        skey = (mid, kinner.kid)
+        verdict = memo.get(skey)
+        if verdict is not None:
+            return verdict
+        key = None
+    else:
+        memo = None
+        skey = None
+        key = (
+            "sol-contained",
+            mapping_key(mapping),
+            canonical_key(outer),
+            canonical_key(inner),
+        )
+        hit, verdict = verdict_cache.get(key)
+        if hit:
+            return verdict
+    # Inlined engine_stats().phase("homomorphism") — same counters,
+    # minus the contextmanager machinery this hot path can feel.
+    stats = engine_stats()
+    started = time.perf_counter()
+    try:
+        souter = kouter.chase_memo.get(mid)
+        if souter is None:
+            souter = _kernel_chase(mapping, outer, kouter)
+        sinner = kinner.chase_memo.get(mid)
+        if sinner is None:
+            sinner = _kernel_chase(mapping, inner, kinner)
+        verdict = kernel_hom_exists(souter[1], souter[0], sinner[1])
+    finally:
+        phase = stats.phases.get("homomorphism")
+        if phase is None:
+            phase = stats.phases.setdefault("homomorphism", PhaseStats())
+        phase.record(time.perf_counter() - started)
+    if memo is not None:
+        memo[skey] = verdict
+    else:
+        verdict_cache.put(key, verdict)
+    return verdict
+
+
 def data_exchange_equivalent(
     mapping: SchemaMapping, left: Instance, right: Instance
 ) -> bool:
@@ -250,6 +347,29 @@ def data_exchange_equivalent(
 
     Equivalent to homomorphic equivalence of the two chase results.
     """
+    if kernel_active():
+        kleft = kernel_instance(left)
+        kright = kernel_instance(right)
+        if kleft.is_ground and kright.is_ground:
+            # ∼M is symmetric, so one verdict serves both argument
+            # orders: stored on each side's kernel instance keyed by
+            # the other's id, making the repeat probe one dict get.
+            mid = small_id(mapping)
+            ekey = (mid, kright.kid)
+            verdict = kleft.eq_memo.get(ekey)
+            if verdict is not None:
+                return verdict
+            verdict = _kernel_solutions_contained(
+                mapping, kleft, kright, left, right
+            ) and _kernel_solutions_contained(
+                mapping, kright, kleft, right, left
+            )
+            kleft.eq_memo[ekey] = verdict
+            kright.eq_memo[(mid, kleft.kid)] = verdict
+            return verdict
+        return _kernel_solutions_contained(
+            mapping, kleft, kright, left, right
+        ) and _kernel_solutions_contained(mapping, kright, kleft, right, left)
     return solutions_contained(mapping, left, right) and solutions_contained(
         mapping, right, left
     )

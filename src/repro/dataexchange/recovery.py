@@ -35,6 +35,7 @@ from repro.engine.budget import (
 )
 from repro.engine.checkpoint import CheckpointJournal, default_journal, sweep_key
 from repro.engine.instrumentation import engine_stats
+from repro.engine.kernel import use_backend
 from repro.engine.parallel import ParallelUniverseRunner, get_shared
 from repro.engine.symmetry import plan_sweep, use_ground_keys
 from repro.errors import BudgetExceeded, WorkerFault, governed_coverage
@@ -167,6 +168,7 @@ def _sweep(
     budget: Optional[Budget] = None,
     checkpoint: Optional[CheckpointJournal] = None,
     symmetry: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> SweepVerdict:
     """Fan the Figure-1 round trip out over *instances* and collect,
     in input order, those whose verdict fails *keep*.
@@ -222,7 +224,7 @@ def _sweep(
 
     with engine_stats().phase("check.round_trips"), use_budget(
         budget
-    ), use_ground_keys(plan.ground_keys):
+    ), use_ground_keys(plan.ground_keys), use_backend(backend):
         results = runner.map_iter(
             _round_trip_task,
             plan.outer[start:],
@@ -276,6 +278,7 @@ def sound_on(
     budget: Optional[Budget] = None,
     checkpoint: Optional[CheckpointJournal] = None,
     symmetry: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[bool, Tuple[Instance, ...]]:
     """Check soundness over many instances; returns (ok, violators).
 
@@ -292,6 +295,7 @@ def sound_on(
         budget=budget,
         checkpoint=checkpoint,
         symmetry=symmetry,
+        backend=backend,
     )
 
 
@@ -304,6 +308,7 @@ def faithful_on(
     budget: Optional[Budget] = None,
     checkpoint: Optional[CheckpointJournal] = None,
     symmetry: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[bool, Tuple[Instance, ...]]:
     """Check faithfulness over many instances; returns (ok, violators).
 
@@ -320,6 +325,7 @@ def faithful_on(
         budget=budget,
         checkpoint=checkpoint,
         symmetry=symmetry,
+        backend=backend,
     )
 
 

@@ -25,7 +25,12 @@ fast:
   ranges so interrupted sweeps resume where they stopped;
 * :mod:`repro.engine.symmetry` — canonical forms of ground instances
   under domain permutation, orbit-reduced sweep plans (the
-  ``--symmetry orbits`` mode), and symmetry-aware cache keys.
+  ``--symmetry orbits`` mode), and symmetry-aware cache keys;
+* :mod:`repro.engine.compile` / :mod:`repro.engine.kernel` — the
+  opt-in compiled backend (the ``--backend kernel`` mode): term
+  interning, premises compiled once into ordered array join plans,
+  and a delta-driven (semi-naive) chase for sweep enumeration, all
+  byte-identical to the object backend's results.
 
 The package depends only on :mod:`repro.datamodel` and
 :mod:`repro.errors`; the chase, core, analysis, and data-exchange
@@ -57,7 +62,23 @@ from repro.engine.cache import (
     verdict_cache,
 )
 from repro.engine.checkpoint import CheckpointJournal, default_journal, sweep_key
-from repro.engine.indexing import FactIndex, fact_index
+from repro.engine.compile import CompiledPremise
+from repro.engine.indexing import FactIndex, fact_index, index_build_count
+from repro.engine.kernel import (
+    BACKEND_KERNEL,
+    BACKEND_MODES,
+    BACKEND_OBJECT,
+    InternTable,
+    KernelInstance,
+    active_backend,
+    default_backend,
+    install_backend,
+    intern_table,
+    kernel_active,
+    kernel_instance,
+    resolve_backend,
+    use_backend,
+)
 from repro.engine.instrumentation import (
     EngineStats,
     engine_stats,
@@ -96,13 +117,19 @@ from repro.engine.symmetry import (
 )
 
 __all__ = [
+    "BACKEND_KERNEL",
+    "BACKEND_MODES",
+    "BACKEND_OBJECT",
     "Budget",
     "CacheStats",
     "CheckpointJournal",
+    "CompiledPremise",
     "CoverageEvent",
     "EngineStats",
     "FactIndex",
     "GroundCanonicalForm",
+    "InternTable",
+    "KernelInstance",
     "MemoCache",
     "OrbitClass",
     "OrbitRepresentative",
@@ -112,6 +139,7 @@ __all__ = [
     "SYMMETRY_ORBITS",
     "SweepPlan",
     "SweepVerdict",
+    "active_backend",
     "all_cache_stats",
     "cached_chase_result",
     "canonical_instances",
@@ -123,6 +151,7 @@ __all__ = [
     "coverage_events",
     "current_budget",
     "decanonicalize",
+    "default_backend",
     "default_journal",
     "default_symmetry",
     "default_task_timeout",
@@ -133,6 +162,11 @@ __all__ = [
     "ground_canonical_form",
     "ground_keys_active",
     "ground_pair_key",
+    "index_build_count",
+    "install_backend",
+    "intern_table",
+    "kernel_active",
+    "kernel_instance",
     "mapping_key",
     "mapping_permutation_invariant",
     "orbit_count_estimate",
@@ -144,9 +178,11 @@ __all__ = [
     "reset_coverage_events",
     "reset_engine_stats",
     "resize_caches",
+    "resolve_backend",
     "resolve_symmetry",
     "set_default_workers",
     "sweep_key",
+    "use_backend",
     "use_budget",
     "use_ground_keys",
     "verdict_cache",

@@ -53,9 +53,29 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def counters(self) -> Dict[str, int]:
+        """Machine-readable counters under the canonical
+        ``<name>_cache_{hits,misses,evictions}`` keys.
+
+        This is the single source of counter names: the human-readable
+        render and :meth:`EngineStats.counters
+        <repro.engine.instrumentation.EngineStats.counters>` both read
+        these keys, so reports can never drift apart on naming (the
+        old ad-hoc scheme had ``chase_hits`` in one place and
+        ``chase_cache_hits`` in another)."""
+        prefix = f"{self.name}_cache"
+        return {
+            f"{prefix}_hits": self.hits,
+            f"{prefix}_misses": self.misses,
+            f"{prefix}_evictions": self.evictions,
+        }
+
     def render(self) -> str:
+        counters = self.counters()
+        prefix = f"{self.name}_cache"
         return (
-            f"cache {self.name:<16} {self.hits:>8} hits  {self.misses:>8} misses  "
+            f"cache {self.name:<16} {counters[f'{prefix}_hits']:>8} hits  "
+            f"{counters[f'{prefix}_misses']:>8} misses  "
             f"({self.hit_rate:>6.1%})  size {self.size}/{self.maxsize}"
         )
 
@@ -121,10 +141,25 @@ def all_cache_stats() -> List[CacheStats]:
     return [cache.stats() for cache in _REGISTRY]
 
 
+_RESET_HOOKS: List[Callable[[], None]] = []
+
+
+def register_reset_hook(hook: Callable[[], None]) -> None:
+    """Run *hook* on every :func:`reset_all_caches` call.
+
+    For engine state that memoizes outside a :class:`MemoCache` (the
+    kernel backend's per-instance memos, for example) and must drop
+    with the caches so cold benchmark runs are genuinely cold.
+    """
+    _RESET_HOOKS.append(hook)
+
+
 def reset_all_caches() -> None:
     for cache in _REGISTRY:
         cache.clear()
     clear_symmetry_memos()
+    for hook in _RESET_HOOKS:
+        hook()
 
 
 def resize_caches(maxsize: int) -> None:

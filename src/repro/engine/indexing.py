@@ -24,6 +24,7 @@ from typing import Dict, Mapping, Optional, Tuple
 from repro.datamodel.atoms import Atom
 from repro.datamodel.instances import Instance
 from repro.datamodel.terms import Constant, Term
+from repro.engine.cache import register_reset_hook
 
 PostingKey = Tuple[str, int, Term]
 
@@ -39,6 +40,8 @@ class FactIndex:
     __slots__ = ("instance", "postings")
 
     def __init__(self, instance: Instance) -> None:
+        global _BUILD_COUNT
+        _BUILD_COUNT = _BUILD_COUNT + 1
         self.instance = instance
         postings: Dict[PostingKey, list] = {}
         for relation in instance.relations():
@@ -80,15 +83,48 @@ class FactIndex:
         return best
 
 
+# Two-level memo: object identity first, then the exact fact set.
+# Instances get copied freely (checkpoint replay, worker round-trips,
+# orbit decanonicalization), and every copy used to rebuild its index
+# from scratch; the facts-keyed fallback lets copies with equal fact
+# sets share one build.  Sharing is sound because posting lists and
+# the relation-extent fallback are functions of the (sorted) fact set
+# alone — candidate order is identical for every copy.
 _INDEXES: "weakref.WeakKeyDictionary[Instance, FactIndex]" = (
     weakref.WeakKeyDictionary()
 )
+_INDEXES_BY_FACTS: Dict[frozenset, FactIndex] = {}
+_INDEXES_BY_FACTS_MAX = 16_384
+
+_BUILD_COUNT = 0
+
+
+def index_build_count() -> int:
+    """Process-lifetime count of :class:`FactIndex` constructions.
+
+    A regression hook: tests assert that probing copies of an instance
+    (equal facts, distinct objects) does not grow this counter."""
+    return _BUILD_COUNT
+
+
+def _clear_index_memos() -> None:
+    _INDEXES.clear()
+    _INDEXES_BY_FACTS.clear()
+
+
+register_reset_hook(_clear_index_memos)
 
 
 def fact_index(instance: Instance) -> FactIndex:
     """The (memoized) :class:`FactIndex` for *instance*."""
     index = _INDEXES.get(instance)
+    if index is not None:
+        return index
+    index = _INDEXES_BY_FACTS.get(instance.facts)
     if index is None:
         index = FactIndex(instance)
-        _INDEXES[instance] = index
+        if len(_INDEXES_BY_FACTS) >= _INDEXES_BY_FACTS_MAX:
+            _INDEXES_BY_FACTS.clear()
+        _INDEXES_BY_FACTS[instance.facts] = index
+    _INDEXES[instance] = index
     return index

@@ -71,6 +71,27 @@ class EngineStats:
         """``{phase: (calls, seconds)}`` for machine-readable reports."""
         return {name: (s.calls, s.seconds) for name, s in sorted(self.phases.items())}
 
+    def counters(self) -> Dict[str, float]:
+        """Every engine counter in one flat machine-readable dict.
+
+        Phase timings appear as ``<phase>_calls`` / ``<phase>_seconds``;
+        cache counters appear under the canonical
+        ``<name>_cache_{hits,misses,evictions}`` keys defined by
+        :meth:`repro.engine.cache.CacheStats.counters` — the same keys
+        the rendered report is built from, so the two can never drift
+        apart on naming again."""
+        from repro.engine.cache import all_cache_stats
+
+        counters: Dict[str, float] = {}
+        for name, stats in sorted(self.phases.items()):
+            counters[f"{name}_calls"] = stats.calls
+            counters[f"{name}_seconds"] = stats.seconds
+        counters["instances_processed"] = self.instances_processed
+        counters["worker_faults"] = self.worker_faults
+        for cache_stats in all_cache_stats():
+            counters.update(cache_stats.counters())
+        return counters
+
     def render(self) -> str:
         """A compact multi-line report (phases, caches, throughput)."""
         from repro.engine.cache import all_cache_stats

@@ -54,6 +54,7 @@ from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, 
 
 from repro.engine.budget import Budget, current_budget, install_budget
 from repro.engine.instrumentation import engine_stats
+from repro.engine.kernel import active_backend, install_backend
 from repro.errors import WorkerFault
 
 Item = TypeVar("Item")
@@ -77,12 +78,18 @@ def _worker_init(
     shared: Any,
     task: Optional[Callable[[Any], Any]] = None,
     budget: Optional[Budget] = None,
+    backend: Optional[str] = None,
 ) -> None:
     global _SHARED, _IN_WORKER, _TASK
     _SHARED = shared
     _IN_WORKER = True
     _TASK = task
     install_budget(budget)
+    # Workers already inherit the ambient backend (fork happens inside
+    # the checker's use_backend scope) along with the intern table;
+    # installing it explicitly keeps that true even if a start method
+    # ever stops forking after the context is published.
+    install_backend(backend)
 
 
 def fork_available() -> bool:
@@ -278,7 +285,7 @@ class ParallelUniverseRunner:
         pool = context.Pool(
             processes=self.workers,
             initializer=_worker_init,
-            initargs=(shared, task, budget),
+            initargs=(shared, task, budget, active_backend()),
         )
         pool_alive = True
         condemned = False

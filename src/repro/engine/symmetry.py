@@ -129,55 +129,84 @@ def mapping_permutation_invariant(mapping: Any) -> bool:
 _RawFact = Tuple[Any, Tuple[Any, ...]]
 
 
-def _occurrence_table(
+# Encoded fact representation: the label replaced by its sortable key
+# and every constant argument replaced by its dense local id — its
+# index in the sorted active-constant list, so id order IS sorted
+# Constant order and every ordering the search produces is identical
+# to the old object-level one.  All refinement, canonical-ordering,
+# and automorphism arithmetic below runs on these small ints; Constant
+# objects only appear at the entry/exit boundary.
+_EncodedFact = Tuple[Any, Tuple[Any, ...]]
+
+
+def _encode_facts(
     facts: Sequence[_RawFact], constants: Sequence[Constant]
-) -> Dict[Constant, List[Tuple[Any, int, Tuple[Any, ...]]]]:
-    """Per-constant occurrence lists: (fact label, position, args)."""
-    table: Dict[Constant, List[Tuple[Any, int, Tuple[Any, ...]]]] = {
-        constant: [] for constant in constants
-    }
-    for label, args in facts:
-        for position, arg in enumerate(args):
-            if isinstance(arg, Constant):
-                table[arg].append((label, position, args))
+) -> Tuple[_EncodedFact, ...]:
+    """Re-express *facts* on dense local constant ids."""
+    index = {constant: position for position, constant in enumerate(constants)}
+    return tuple(
+        (
+            _label_key(label),
+            tuple(
+                index[arg] if isinstance(arg, Constant) else arg
+                for arg in args
+            ),
+        )
+        for label, args in facts
+    )
+
+
+def _occurrence_table(
+    encoded: Sequence[_EncodedFact], size: int
+) -> List[List[Tuple[Any, int, Tuple[Any, ...]]]]:
+    """Per-id occurrence lists: (fact label key, position, codes)."""
+    table: List[List[Tuple[Any, int, Tuple[Any, ...]]]] = [
+        [] for _ in range(size)
+    ]
+    for label, codes in encoded:
+        for position, code in enumerate(codes):
+            if type(code) is int:
+                table[code].append((label, position, codes))
     return table
 
 
 def _refine(
-    colors: Dict[Constant, int],
-    occurrences: Dict[Constant, List[Tuple[Any, int, Tuple[Any, ...]]]],
-) -> Dict[Constant, int]:
+    colors: List[int],
+    occurrences: Sequence[Sequence[Tuple[Any, int, Tuple[Any, ...]]]],
+) -> List[int]:
     """Iterative colour refinement to a stable partition.
 
-    Each round recolours every constant by its current colour plus the
-    sorted multiset of its occurrence signatures (fact label, position,
-    colour pattern of the co-occurring arguments).  Signatures are
-    invariant data, so the refined partition is orbit-invariant.
+    Each round recolours every constant id by its current colour plus
+    the sorted multiset of its occurrence signatures (fact label key,
+    position, colour pattern of the co-occurring arguments).
+    Signatures are invariant data, so the refined partition is
+    orbit-invariant.
     """
     while True:
-        signatures: Dict[Constant, Tuple[Any, ...]] = {}
-        for constant, slots in occurrences.items():
-            signature = tuple(
-                sorted(
-                    (
-                        _label_key(label),
-                        position,
-                        tuple(
-                            colors[arg] if isinstance(arg, Constant) else -1
-                            for arg in args
-                        ),
+        signatures = [
+            (
+                colors[cid],
+                tuple(
+                    sorted(
+                        (
+                            label,
+                            position,
+                            tuple(
+                                colors[code] if type(code) is int else -1
+                                for code in codes
+                            ),
+                        )
+                        for label, position, codes in occurrences[cid]
                     )
-                    for label, position, args in slots
-                )
+                ),
             )
-            signatures[constant] = (colors[constant], signature)
+            for cid in range(len(colors))
+        ]
         ranking = {
             signature: rank
-            for rank, signature in enumerate(sorted(set(signatures.values())))
+            for rank, signature in enumerate(sorted(set(signatures)))
         }
-        refined = {
-            constant: ranking[signatures[constant]] for constant in colors
-        }
+        refined = [ranking[signature] for signature in signatures]
         if refined == colors:
             return refined
         colors = refined
@@ -190,28 +219,29 @@ def _label_key(label: Any) -> Any:
     return str(label)
 
 
-def _cells(colors: Dict[Constant, int]) -> List[List[Constant]]:
-    """Colour classes ordered by colour, members in sorted order."""
-    grouped: Dict[int, List[Constant]] = {}
-    for constant, color in colors.items():
-        grouped.setdefault(color, []).append(constant)
-    return [sorted(grouped[color]) for color in sorted(grouped)]
+def _cells(colors: Sequence[int]) -> List[List[int]]:
+    """Colour classes ordered by colour, member ids ascending."""
+    grouped: Dict[int, List[int]] = {}
+    for cid, color in enumerate(colors):
+        grouped.setdefault(color, []).append(cid)
+    return [grouped[color] for color in sorted(grouped)]
 
 
 def _relabeled_form(
-    facts: Sequence[_RawFact], ordering: Dict[Constant, int]
+    encoded: Sequence[_EncodedFact], ordering: Sequence[int]
 ) -> Tuple[Tuple[Any, Tuple[Any, ...]], ...]:
-    """The fact structure with constants replaced by their indices,
-    as a sorted tuple — the comparable 'certificate' of a labelling."""
+    """The fact structure with constant ids replaced by their canonical
+    indices, as a sorted tuple — the comparable 'certificate' of a
+    labelling."""
     relabeled = [
         (
-            _label_key(label),
+            label,
             tuple(
-                ordering[arg] if isinstance(arg, Constant) else arg.sort_key()
-                for arg in args
+                ordering[code] if type(code) is int else code.sort_key()
+                for code in codes
             ),
         )
-        for label, args in facts
+        for label, codes in encoded
     ]
     return tuple(sorted(relabeled))
 
@@ -228,29 +258,38 @@ def _canonical_ordering(
     """
     if not constants:
         return {}
-    occurrences = _occurrence_table(facts, constants)
-    best: List[Optional[Tuple[Tuple, Dict[Constant, int]]]] = [None]
+    encoded = _encode_facts(facts, constants)
+    ordering = _canonical_ordering_ids(encoded, len(constants))
+    return {constants[cid]: rank for cid, rank in enumerate(ordering)}
 
-    def search(colors: Dict[Constant, int]) -> None:
+
+def _canonical_ordering_ids(
+    encoded: Sequence[_EncodedFact], size: int
+) -> List[int]:
+    """:func:`_canonical_ordering` on encoded facts: the result maps
+    local id → canonical index, as a dense list."""
+    occurrences = _occurrence_table(encoded, size)
+    best: List[Optional[Tuple[Tuple, List[int]]]] = [None]
+
+    def search(colors: List[int]) -> None:
         colors = _refine(colors, occurrences)
         cells = _cells(colors)
         target = next((cell for cell in cells if len(cell) > 1), None)
         if target is None:
-            ordering = {
-                constant: rank
-                for rank, (constant,) in enumerate(cells)
-            }
-            form = _relabeled_form(facts, ordering)
+            ordering = [0] * size
+            for rank, (cid,) in enumerate(cells):
+                ordering[cid] = rank
+            form = _relabeled_form(encoded, ordering)
             if best[0] is None or form < best[0][0]:
                 best[0] = (form, ordering)
             return
-        fresh = max(colors.values()) + 1
+        fresh = max(colors) + 1
         for choice in target:
-            branched = dict(colors)
+            branched = list(colors)
             branched[choice] = fresh
             search(branched)
 
-    search({constant: 0 for constant in constants})
+    search([0] * size)
     assert best[0] is not None
     return best[0][1]
 
@@ -267,28 +306,34 @@ def _automorphism_count(
     """
     if not constants:
         return 1
-    occurrences = _occurrence_table(facts, constants)
-    colors = _refine({constant: 0 for constant in constants}, occurrences)
-    cells = _cells(colors)
-    fact_set = frozenset(
-        (label, args) for label, args in facts
+    return _automorphism_count_ids(
+        _encode_facts(facts, constants), len(constants)
     )
+
+
+def _automorphism_count_ids(
+    encoded: Sequence[_EncodedFact], size: int
+) -> int:
+    """:func:`_automorphism_count` on encoded facts."""
+    occurrences = _occurrence_table(encoded, size)
+    colors = _refine([0] * size, occurrences)
+    cells = _cells(colors)
+    fact_set = frozenset(encoded)
     count = 0
     for cell_perms in _cell_permutations(cells):
-        mapping = {
-            source: image
-            for cell, images in zip(cells, cell_perms)
-            for source, image in zip(cell, images)
-        }
+        perm = list(range(size))
+        for cell, images in zip(cells, cell_perms):
+            for source, image in zip(cell, images):
+                perm[source] = image
         permuted = frozenset(
             (
                 label,
                 tuple(
-                    mapping.get(arg, arg) if isinstance(arg, Constant) else arg
-                    for arg in args
+                    perm[code] if type(code) is int else code
+                    for code in codes
                 ),
             )
-            for label, args in facts
+            for label, codes in encoded
         )
         if permuted == fact_set:
             count += 1
@@ -296,8 +341,8 @@ def _automorphism_count(
 
 
 def _cell_permutations(
-    cells: Sequence[Sequence[Constant]],
-) -> Iterator[Tuple[Tuple[Constant, ...], ...]]:
+    cells: Sequence[Sequence[int]],
+) -> Iterator[Tuple[Tuple[int, ...], ...]]:
     """The cartesian product of per-cell permutations."""
     if not cells:
         yield ()
@@ -379,15 +424,23 @@ def ground_canonical_form(instance: Instance) -> GroundCanonicalForm:
         (fact.relation, fact.args) for fact in instance.sorted_facts()
     ]
     constants = sorted(instance.constants())
-    ordering = _canonical_ordering(facts, constants)
+    # Encode once, run both the canonical-ordering search and the
+    # automorphism count on the same id-tuples.
+    encoded = _encode_facts(facts, constants)
+    if constants:
+        ordering = _canonical_ordering_ids(encoded, len(constants))
+        automorphisms = _automorphism_count_ids(encoded, len(constants))
+    else:
+        ordering = []
+        automorphisms = 1
     forward = {
-        constant: Constant(f"{_ORBIT_PREFIX}{index}")
-        for constant, index in ordering.items()
+        constants[cid]: Constant(f"{_ORBIT_PREFIX}{index}")
+        for cid, index in enumerate(ordering)
     }
     form = GroundCanonicalForm(
         canonical=instance.substitute(forward),
         forward=forward,
-        automorphisms=_automorphism_count(facts, constants),
+        automorphisms=automorphisms,
     )
     if len(_FORM_MEMO) >= _FORM_MEMO_MAX:
         _FORM_MEMO.clear()

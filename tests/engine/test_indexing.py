@@ -68,6 +68,21 @@ class TestFactIndex:
         clone = Instance.build({"P": [("a", "b")]})
         assert fact_index(clone) is fact_index(instance)
 
+    def test_copies_never_rebuild_the_index(self):
+        # regression: instance copies (checkpoint replay, worker
+        # round-trips) used to rebuild postings from scratch; the
+        # facts-keyed fallback memo must absorb them
+        from repro.engine.indexing import index_build_count
+
+        rows = [("a", "b"), ("b", "c"), ("c", "a")]
+        fact_index(Instance.build({"P": rows}))
+        before = index_build_count()
+        for _ in range(5):
+            copy = Instance.build({"P": list(rows)})
+            fact_index(copy)
+            find_homomorphism([atom("P", X, Y)], copy)
+        assert index_build_count() == before
+
 
 class TestIndexedSearchEquivalence:
     """The indexed search must return exactly what a linear scan would."""

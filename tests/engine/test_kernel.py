@@ -1,0 +1,203 @@
+"""Unit tests for the compiled relational kernel backend."""
+
+from array import array
+
+import pytest
+
+from repro.chase.standard import _sorted_matches
+from repro.core.mapping import SchemaMapping, universal_solution
+from repro.datamodel.atoms import atom
+from repro.datamodel.instances import Instance
+from repro.datamodel.schemas import Schema
+from repro.datamodel.terms import Constant, Null, Variable
+from repro.dependencies.parser import parse_dependency
+from repro.engine import reset_all_caches, use_backend
+from repro.engine.kernel import (
+    BACKEND_KERNEL,
+    BACKEND_OBJECT,
+    InternTable,
+    KernelInstance,
+    active_backend,
+    default_backend,
+    install_backend,
+    intern_table,
+    kernel_active,
+    kernel_has_homomorphism,
+    kernel_instance,
+    resolve_backend,
+    sorted_premise_matches,
+)
+
+X, Y = Variable("x"), Variable("y")
+
+
+class TestInternTable:
+    def test_ids_are_dense_and_stable(self):
+        table = InternTable()
+        a = table.intern(Constant("a"))
+        b = table.intern(Constant("b"))
+        assert (a, b) == (0, 1)
+        assert table.intern(Constant("a")) == a
+        assert len(table) == 2
+
+    def test_round_trip_and_constness(self):
+        table = InternTable()
+        cid = table.intern(Constant("a"))
+        nid = table.intern(Null("n"))
+        assert table.term(cid) == Constant("a")
+        assert table.term(nid) == Null("n")
+        assert table.is_const(cid) and not table.is_const(nid)
+
+    def test_process_table_is_shared(self):
+        assert intern_table() is intern_table()
+
+
+class TestKernelInstance:
+    def test_rows_follow_sorted_fact_order(self):
+        instance = Instance.build({"P": [("b", "a"), ("a", "c"), ("a", "b")]})
+        kinst = kernel_instance(instance)
+        table = intern_table()
+        decoded = [
+            tuple(table.term(tid) for tid in row) for row in kinst.rows["P"]
+        ]
+        expected = [fact.args for fact in instance.facts_for("P")]
+        assert decoded == expected
+
+    def test_postings_are_packed_ascending_row_indexes(self):
+        instance = Instance.build({"P": [("a", "b"), ("a", "c"), ("d", "b")]})
+        kinst = kernel_instance(instance)
+        tid = intern_table().intern(Constant("a"))
+        posting = kinst.postings[("P", 0, tid)]
+        assert isinstance(posting, array) and posting.typecode == "q"
+        assert list(posting) == sorted(posting)
+        assert len(posting) == 2
+
+    def test_ground_flag(self):
+        assert kernel_instance(Instance.build({"P": [("a", "b")]})).is_ground
+        withnull = Instance.build({"P": [(Null("n"), Constant("b"))]})
+        assert not kernel_instance(withnull).is_ground
+
+    def test_copies_share_one_kernel_instance(self):
+        instance = Instance.build({"P": [("a", "b")]})
+        clone = Instance.build({"P": [("a", "b")]})
+        assert kernel_instance(instance) is kernel_instance(clone)
+
+    def test_reset_drops_instance_memos(self):
+        instance = Instance.build({"P": [("a", "b")]})
+        before = kernel_instance(instance)
+        reset_all_caches()
+        after = kernel_instance(instance)
+        assert after is not before
+
+
+class TestBackendSelection:
+    def test_resolve_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            resolve_backend("gpu")
+
+    def test_environment_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "kernel")
+        assert default_backend() == BACKEND_KERNEL
+        assert kernel_active()
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        assert default_backend() == BACKEND_OBJECT
+
+    def test_use_backend_nests_and_restores(self):
+        assert not kernel_active()
+        with use_backend("kernel"):
+            assert kernel_active() and active_backend() == BACKEND_KERNEL
+            with use_backend("object"):
+                assert not kernel_active()
+            assert kernel_active()
+        assert not kernel_active()
+
+    def test_install_backend_is_process_lifetime(self):
+        install_backend("kernel")
+        try:
+            assert kernel_active()
+        finally:
+            install_backend(None)
+        assert not kernel_active()
+
+
+def _projection_mapping():
+    return SchemaMapping.from_text(
+        Schema.of({"R": 2}),
+        Schema.of({"S": 1}),
+        "R(x, y) -> S(x)",
+        name="Projection",
+    )
+
+
+class TestSortedPremiseMatches:
+    def test_delta_matches_equal_object_backend(self):
+        dependency = parse_dependency("R(x, y), R(y, z) -> S(x, z)")
+        instance = Instance.build(
+            {"R": [("a", "b"), ("b", "c"), ("b", "a"), ("c", "c")]}
+        )
+        expected = _sorted_matches(dependency, instance)
+        with use_backend("kernel"):
+            actual = _sorted_matches(dependency, instance)
+        assert list(actual) == list(expected)
+
+    def test_non_ground_instances_fall_back_to_full_search(self):
+        dependency = parse_dependency("R(x, y) -> S(x)")
+        instance = Instance.build({"R": [(Null("n"), Constant("b"))]})
+        expected = _sorted_matches(dependency, instance)
+        with use_backend("kernel"):
+            actual = sorted_premise_matches(dependency, instance)
+        assert list(actual) == list(expected)
+
+    def test_matches_grow_with_the_sub_instance_chain(self):
+        # every prefix of the lattice chain gets its own cached match
+        # list; the final list equals a from-scratch object search
+        dependency = parse_dependency("R(x, y) -> S(x)")
+        facts = [("a", "b"), ("a", "c"), ("b", "c"), ("c", "a")]
+        for size in range(1, len(facts) + 1):
+            instance = Instance.build({"R": facts[:size]})
+            expected = _sorted_matches(dependency, instance)
+            with use_backend("kernel"):
+                actual = _sorted_matches(dependency, instance)
+            assert list(actual) == list(expected)
+
+
+class TestKernelVerdicts:
+    def test_chase_results_byte_identical(self):
+        mapping = _projection_mapping()
+        source = Instance.build({"R": [("a", "b"), ("b", "b")]})
+        expected = universal_solution(mapping, source)
+        reset_all_caches()
+        with use_backend("kernel"):
+            actual = universal_solution(mapping, source)
+        assert actual.facts == expected.facts
+
+    def test_hom_existence_memoized_per_instance(self):
+        source = Instance.build({"P": [("a", "b")]})
+        target = Instance.build({"P": [("a", "b"), ("c", "d")]})
+        assert kernel_has_homomorphism(source, target)
+        ksrc = kernel_instance(source)
+        assert ksrc.hom_memo[kernel_instance(target).kid] is True
+        assert kernel_has_homomorphism(source, target)
+
+    def test_hom_existence_negative(self):
+        source = Instance.build({"P": [("a", "a")]})
+        target = Instance.build({"P": [("a", "b")]})
+        assert not kernel_has_homomorphism(source, target)
+        # nulls are mappable, constants rigid
+        flexible = Instance.build({"P": [(Null("n"), Null("n"))]})
+        assert kernel_has_homomorphism(flexible, source)
+        assert not kernel_has_homomorphism(flexible, target)
+
+    def test_first_match_agrees_on_atom_reordering(self):
+        # the compiled plan must replicate the object backend's greedy
+        # atom order (most-bound, then smallest extent) exactly
+        from repro.chase.homomorphism import find_homomorphism
+
+        target = Instance.build(
+            {"P": [("a", "b"), ("b", "c")], "Q": [("b",), ("c",)]}
+        )
+        premise = [atom("P", X, Y), atom("Q", Y)]
+        expected = find_homomorphism(premise, target)
+        with use_backend("kernel"):
+            actual = find_homomorphism(premise, target)
+        assert actual == expected

@@ -60,3 +60,23 @@ def test_export_unknown_mapping(capsys):
 def test_export_sql_refuses_existential_mapping(capsys):
     # Example 4.5 has existential conclusions: no faithful SQL.
     assert main(["export", "Example4.5", "--format", "sql"]) == 2
+
+
+def test_backend_flag_sets_environment_knob(capsys):
+    import os
+
+    previous = os.environ.pop("REPRO_BACKEND", None)
+    try:
+        assert main(["run", "E4", "--backend", "kernel"]) == 0
+        assert os.environ.get("REPRO_BACKEND") == "kernel"
+        assert "ALL CHECKS PASS" in capsys.readouterr().out
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_BACKEND", None)
+        else:
+            os.environ["REPRO_BACKEND"] = previous
+
+
+def test_backend_flag_rejects_unknown_value():
+    with pytest.raises(SystemExit):
+        main(["run", "E4", "--backend", "gpu"])
