@@ -1,0 +1,179 @@
+"""Acceptance gate for the disk-persistent verdict store + sharding.
+
+Three promises, checked end to end on an orbit-reduced subset-property
+sweep of Example 5.4 over the |domain| = 4 universe (object backend,
+no early stop; the mapping's existential heads make every equivalence
+verdict a genuine homomorphism search, which is exactly the work a
+warm store must skip):
+
+1. **Warm-over-cold speedup** — re-running the sweep against a
+   populated store (memory caches reset, so every verdict really
+   round-trips through SQLite) must be at least ``--min-speedup``
+   (default 3×) faster than the cold populating run.
+2. **Byte-identity** — the storeless report, the cold-store report,
+   the warm-store report, and the merged sharded reports (1, 2 and 4
+   shards, store enabled) must all render byte-identically.
+3. **Shard throughput** — verdict throughput must not collapse when
+   the same work is claimed shard by shard through the checkpoint
+   journal's lease protocol (per-shard timings are printed; the gate
+   is the byte-identity plus a sanity floor, not a strict linearity
+   assertion, because CI machines share cores).
+
+Usage (CI runs this)::
+
+    PYTHONPATH=src python benchmarks/bench_store.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+from repro.catalog import example_5_4
+from repro.core.framework import SolutionEquivalence, subset_property
+from repro.engine.cache import reset_all_caches
+from repro.engine.checkpoint import CheckpointJournal
+from repro.engine.store import VerdictStore, use_store
+from repro.workloads import power_instances
+
+
+def _render(report) -> bytes:
+    """A canonical byte rendering of a SubsetPropertyReport."""
+    lines = [
+        f"holds={report.holds}",
+        f"checked={report.checked}",
+        f"coverage={report.coverage}",
+        f"instances_checked={report.instances_checked}",
+        f"orbits_checked={report.orbits_checked}",
+    ]
+    for left, right in report.violations:
+        lines.append(f"violation={left.sorted_facts()}|{right.sorted_facts()}")
+    return "\n".join(lines).encode()
+
+
+def _sweep(mapping, equivalence, universe, **kwargs):
+    reset_all_caches()
+    start = time.perf_counter()
+    report = subset_property(
+        mapping,
+        equivalence,
+        equivalence,
+        universe,
+        stop_at_first_violation=False,
+        symmetry="orbits",
+        backend="object",
+        **kwargs,
+    )
+    return report, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--domain-size", type=int, default=4, help="constants in the universe"
+    )
+    parser.add_argument(
+        "--max-facts", type=int, default=2, help="facts per instance"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="required warm-over-cold speedup factor",
+    )
+    args = parser.parse_args(argv)
+
+    # The ambient REPRO_STORE would make default_store() stomp the
+    # stores this gate installs explicitly; neutralize it.
+    os.environ.pop("REPRO_STORE", None)
+
+    mapping = example_5_4()
+    equivalence = SolutionEquivalence(mapping)
+    domain = tuple("abcdefgh"[: args.domain_size])
+    universe = list(
+        power_instances(mapping.source, domain, max_facts=args.max_facts)
+    )
+    print(
+        f"universe: |domain|={args.domain_size}, max_facts={args.max_facts}"
+        f" -> {len(universe)} instances"
+    )
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        store_path = os.path.join(tmp, "verdicts.sqlite")
+
+        with use_store(None):
+            storeless, storeless_s = _sweep(mapping, equivalence, universe)
+        print(f"storeless:            {storeless_s:8.3f}s")
+
+        with use_store(store_path) as store:
+            cold, cold_s = _sweep(mapping, equivalence, universe)
+            store.flush()
+            print(
+                f"cold (populating):    {cold_s:8.3f}s"
+                f"  ({store.writes} writes, {store.entry_count()} entries)"
+            )
+
+        with use_store(VerdictStore(store_path)) as store:
+            warm, warm_s = _sweep(mapping, equivalence, universe)
+            print(
+                f"warm (store-backed):  {warm_s:8.3f}s"
+                f"  ({store.hits} hits, {store.misses} misses)"
+            )
+            if store.hits == 0:
+                failures.append("warm run never hit the store")
+
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        print(f"warm-over-cold speedup: {speedup:.2f}x")
+        if speedup < args.min_speedup:
+            failures.append(
+                f"speedup {speedup:.2f}x below the {args.min_speedup}x gate"
+            )
+
+        renderings = {
+            "storeless": _render(storeless),
+            "cold": _render(cold),
+            "warm": _render(warm),
+        }
+
+        # Sharded runs, store enabled: each shard count coordinates
+        # through its own journal (lease files + per-shard entries).
+        for shards in (1, 2, 4):
+            journal = CheckpointJournal(
+                os.path.join(tmp, f"journal-{shards}.json")
+            )
+            with use_store(VerdictStore(store_path)):
+                merged, merged_s = _sweep(
+                    mapping,
+                    equivalence,
+                    universe,
+                    shards=shards,
+                    checkpoint=journal,
+                )
+            throughput = merged.checked / merged_s if merged_s > 0 else 0.0
+            print(
+                f"sharded x{shards} (merged): {merged_s:8.3f}s"
+                f"  ({merged.checked} verdicts, {throughput:,.0f}/s)"
+            )
+            renderings[f"shards{shards}"] = _render(merged)
+
+        reference = renderings["storeless"]
+        for label, rendering in renderings.items():
+            if rendering != reference:
+                failures.append(
+                    f"report '{label}' differs from the storeless run"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench_store: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

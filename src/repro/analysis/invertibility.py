@@ -93,6 +93,8 @@ def invertibility_report(
     budget: Optional[Budget] = None,
     symmetry: Optional[str] = None,
     backend: Optional[str] = None,
+    shards: Optional[int] = None,
+    shard_id: Optional[int] = None,
 ) -> InvertibilityReport:
     """Run every invertibility criterion over *universe*.
 
@@ -105,7 +107,11 @@ def invertibility_report(
     for both bounded checks; ``orbits_checked`` aggregates their orbit
     counters.  *backend* (default: ``REPRO_BACKEND``) selects the
     object or compiled-kernel execution backend for both sweeps; the
-    report is identical either way.
+    report is identical either way.  *shards* / *shard_id* (default:
+    ``REPRO_SHARDS`` / ``REPRO_SHARD_ID``) partition both bounded
+    sweeps by content digest; with a fixed *shard_id* the report
+    covers that shard alone, merged shard reports reproduce the
+    unsharded run.
     """
     equivalence = SolutionEquivalence(mapping)
     unique_verdict = unique_solutions_property(
@@ -115,6 +121,8 @@ def invertibility_report(
         budget=budget,
         symmetry=symmetry,
         backend=backend,
+        shards=shards,
+        shard_id=shard_id,
     )
     unique, violations = unique_verdict
     subset = subset_property(
@@ -126,6 +134,8 @@ def invertibility_report(
         budget=budget,
         symmetry=symmetry,
         backend=backend,
+        shards=shards,
+        shard_id=shard_id,
     )
     return InvertibilityReport(
         mapping_name=mapping.name or str(mapping),

@@ -39,6 +39,17 @@ integer kernel (term interning + array join plans + a delta-driven
 chase) instead of interpreting the object datamodel — same verdicts,
 witnesses, and counters, typically several times faster on sweeps.
 
+``--store PATH`` (the ``REPRO_STORE`` knob) persists the
+content-addressed chase/verdict caches to an on-disk SQLite store
+shared across runs, processes, and CI jobs — a warm store makes
+re-runs of the same sweeps several times faster.  ``--shards N``
+partitions every bounded sweep's outer loop into N content-addressed
+shards; with ``--shard-id K`` this process sweeps only shard K
+(independent workers coordinate through the ``--checkpoint`` journal's
+per-shard entries and lease files, stealing expired leases from dead
+workers), without it the process runs every unclaimed shard and merges
+the shard reports back into the unsharded report.
+
 Exit codes: 0 — everything passed exhaustively; 1 — a check failed;
 2 — usage error; 3 — no failures, but at least one sweep stopped early
 on a deadline/budget (coverage ``"deadline"`` / ``"budget"``);
@@ -265,6 +276,31 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "over interned integer ids (kernel); verdicts and witnesses are "
         "identical either way",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="on-disk content-addressed chase/verdict store (SQLite) "
+        "backing the in-memory memo caches as a write-through second "
+        "level; shared across runs and processes (REPRO_STORE)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition every bounded sweep's outer loop into N "
+        "content-addressed shards (REPRO_SHARDS)",
+    )
+    parser.add_argument(
+        "--shard-id",
+        type=int,
+        default=None,
+        metavar="K",
+        help="sweep only shard K of --shards in this process (reports "
+        "then cover that shard alone); omit to run/claim every shard "
+        "here (REPRO_SHARD_ID)",
+    )
 
 
 def _configure_engine(arguments: argparse.Namespace) -> None:
@@ -285,6 +321,9 @@ def _configure_engine(arguments: argparse.Namespace) -> None:
         ("checkpoint", "REPRO_CHECKPOINT"),
         ("symmetry", "REPRO_SYMMETRY"),
         ("backend", "REPRO_BACKEND"),
+        ("store", "REPRO_STORE"),
+        ("shards", "REPRO_SHARDS"),
+        ("shard_id", "REPRO_SHARD_ID"),
     ):
         value = getattr(arguments, flag, None)
         if value is not None:
@@ -321,6 +360,9 @@ def _coverage_exit(code: int) -> int:
 
 
 def _report_engine(arguments: argparse.Namespace) -> None:
+    from repro.engine.cache import flush_active_store
+
+    flush_active_store()  # persist the run's store traffic before exit
     if getattr(arguments, "engine_stats", False):
         from repro.engine import engine_stats
 

@@ -21,8 +21,18 @@ these checkers to find (see experiments E2, E4, E8).
 
 from __future__ import annotations
 
+import uuid
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 from repro.datamodel.instances import Instance
 from repro.core.mapping import (
@@ -39,14 +49,24 @@ from repro.engine.budget import (
     record_coverage,
     use_budget,
 )
-from repro.engine.checkpoint import CheckpointJournal, default_journal, sweep_key
+from repro.engine.cache import mapping_key
+from repro.engine.checkpoint import (
+    CheckpointJournal,
+    claim_shards,
+    default_journal,
+    shard_entry_key,
+    sweep_key,
+)
 from repro.engine.instrumentation import engine_stats
 from repro.engine.kernel import use_backend
 from repro.engine.parallel import ParallelUniverseRunner, get_shared
+from repro.engine.store import default_store, stable_digest
 from repro.engine.symmetry import (
     SweepPlan,
     mapping_permutation_invariant,
     plan_sweep,
+    resolve_shards,
+    shard_of_instance,
     use_ground_keys,
 )
 from repro.errors import BudgetExceeded, WorkerFault, governed_coverage
@@ -118,6 +138,76 @@ def _plan_sweep(
             _relation_permutation_invariant(rel) for rel in relations
         ),
     )
+
+
+def _relation_content_key(relation: EquivalenceRelation) -> Tuple:
+    """Content identity of an equivalence relation for fingerprinting:
+    solution-space relations digest their mapping's dependencies, so
+    two anonymous mappings with different constraints never collide."""
+    inner = getattr(relation, "mapping", None)
+    if inner is not None and hasattr(inner, "dependencies"):
+        return (type(relation).__name__, mapping_key(inner))
+    return (type(relation).__name__, str(relation))
+
+
+def _sweep_fingerprint(
+    label: str,
+    mappings: Sequence[SchemaMapping],
+    relations: Sequence[EquivalenceRelation],
+    pools: Sequence[Sequence[Instance]],
+    mode: str,
+) -> str:
+    """The derivation key a checkpoint entry is guarded by.
+
+    Digests the sweep's actual *content* — the mappings' dependencies,
+    the relations, every instance in every pool, and the effective
+    sweep mode — so a journal written for a different sweep can never
+    be honoured just because its universe happens to have the same
+    length (the checkpoint module's fingerprint sanity guard).
+    """
+    parts: List[object] = [label, mode]
+    parts.extend(mapping_key(current) for current in mappings)
+    parts.extend(_relation_content_key(current) for current in relations)
+    for pool in pools:
+        parts.append([instance.sorted_facts() for instance in pool])
+    return stable_digest(parts)[:16]
+
+
+def _worst_coverage(coverages: Iterable[str]) -> str:
+    """Merged coverage of shard reports: exhaustive only when every
+    shard was, else the first shard's partial coverage (deterministic
+    — shards merge in shard-id order)."""
+    for coverage in coverages:
+        if coverage != COVERAGE_EXHAUSTIVE:
+            return coverage
+    return COVERAGE_EXHAUSTIVE
+
+
+def _first_positions(instances: Sequence[Instance]) -> Dict[Instance, int]:
+    positions: Dict[Instance, int] = {}
+    for index, instance in enumerate(instances):
+        positions.setdefault(instance, index)
+    return positions
+
+
+def _serial_pair_order(
+    outer: Sequence[Instance], universe: Sequence[Instance]
+) -> Callable[[Tuple], Tuple[int, int]]:
+    """Sort key restoring the serial sweep's violation order: by the
+    left instance's position in the outer stream, then the right
+    instance's position in the universe scan."""
+    outer_positions = _first_positions(outer)
+    inner_positions = _first_positions(universe)
+    fallback_outer = len(outer_positions)
+    fallback_inner = len(inner_positions)
+
+    def order(pair: Tuple) -> Tuple[int, int]:
+        return (
+            outer_positions.get(pair[0], fallback_outer),
+            inner_positions.get(pair[1], fallback_inner),
+        )
+
+    return order
 
 
 @dataclass(frozen=True)
@@ -221,6 +311,8 @@ def subset_property(
     checkpoint: Optional[CheckpointJournal] = None,
     symmetry: Optional[str] = None,
     backend: Optional[str] = None,
+    shards: Optional[int] = None,
+    shard_id: Optional[int] = None,
 ) -> SubsetPropertyReport:
     """Bounded check of the (∼1,∼2)-subset property (Definition 3.4).
 
@@ -238,7 +330,9 @@ def subset_property(
     knobs) bounds the sweep; when it trips, the report comes back with
     partial ``coverage`` instead of an exception.  *checkpoint*
     (default: the ``REPRO_CHECKPOINT`` journal) records the verified
-    prefix so an interrupted sweep resumes where it stopped.
+    prefix so an interrupted sweep resumes where it stopped; every
+    entry carries the sweep fingerprint, so a journal written for a
+    different mapping or universe is discarded, never honoured.
 
     *symmetry* (default: ``REPRO_SYMMETRY``, else ``"full"``): with
     ``"orbits"``, only one representative per domain-permutation
@@ -254,7 +348,23 @@ def subset_property(
     keys run on the compiled integer kernel
     (:mod:`repro.engine.kernel`) — identical verdicts and witnesses,
     installed before the fan-out so forked workers inherit it.
+
+    *shards* / *shard_id* (default: ``REPRO_SHARDS`` /
+    ``REPRO_SHARD_ID``): partition the outer stream by content digest
+    of each instance's canonical form (orbits never straddle shards).
+    With a fixed *shard_id* this process sweeps exactly that shard and
+    the report covers it alone — independent workers each take one id
+    and coordinate through the shared checkpoint journal (per-shard
+    entries plus lease files; an expired lease is stolen, so a dead
+    worker's shard is re-run by whoever notices).  With *shards* > 1
+    and no *shard_id*, this process claims every shard not already
+    done elsewhere and merges the shard reports back into exactly the
+    unsharded report (byte-identical under
+    ``stop_at_first_violation=False``; with early stopping each shard
+    stops at its own first violation, so only the verdict — not the
+    pair counts — matches the serial run).
     """
+    default_store()  # honour REPRO_STORE before any cache traffic
     universe = list(universe)
     witnesses = (
         list(witness_universe)
@@ -264,7 +374,6 @@ def subset_property(
     plan = _plan_sweep(
         symmetry, universe, mappings=(mapping,), relations=(relation1, relation2)
     )
-    outer = plan.outer
     budget = _resolve_budget(budget)
     journal = checkpoint if checkpoint is not None else default_journal()
     key = sweep_key(
@@ -276,7 +385,70 @@ def subset_property(
         len(witnesses),
         plan.mode,
     )
-    start = journal.resume_index(key, len(outer)) if journal else 0
+    fingerprint = _sweep_fingerprint(
+        "subset_property",
+        (mapping,),
+        (relation1, relation2),
+        (universe, witnesses),
+        plan.mode,
+    )
+    shards, shard_id = resolve_shards(shards, shard_id)
+
+    def run_shard(which: Optional[int], shard_plan: SweepPlan) -> SubsetPropertyReport:
+        shard_key = key if which is None else shard_entry_key(key, which, shards)
+        return _subset_sweep(
+            mapping,
+            relation1,
+            relation2,
+            universe,
+            witnesses,
+            shard_plan,
+            key=shard_key,
+            fingerprint=fingerprint,
+            stop_at_first_violation=stop_at_first_violation,
+            workers=workers,
+            budget=budget,
+            journal=journal,
+            backend=backend,
+        )
+
+    if shards <= 1:
+        return run_shard(None, plan)
+    if shard_id is not None:
+        return run_shard(shard_id, plan.shard(shards, shard_id))
+    owner = uuid.uuid4().hex
+    reports: Dict[int, SubsetPropertyReport] = {}
+    for claimed in claim_shards(
+        journal, key, shards, owner=owner, fingerprint=fingerprint
+    ):
+        reports[claimed] = run_shard(claimed, plan.shard(shards, claimed))
+    return _merge_subset_reports(
+        reports, plan, universe, shards=shards, key=key, journal=journal
+    )
+
+
+def _subset_sweep(
+    mapping: SchemaMapping,
+    relation1: EquivalenceRelation,
+    relation2: EquivalenceRelation,
+    universe: Sequence[Instance],
+    witnesses: Sequence[Instance],
+    plan: SweepPlan,
+    *,
+    key: str,
+    fingerprint: Optional[str],
+    stop_at_first_violation: bool,
+    workers: Optional[int],
+    budget: Optional[Budget],
+    journal: Optional[CheckpointJournal],
+    backend: Optional[str],
+) -> SubsetPropertyReport:
+    """One journal-backed sweep over *plan*'s outer stream — the whole
+    check when unsharded, one shard's share otherwise."""
+    outer = plan.outer
+    start = (
+        journal.resume_index(key, len(outer), fingerprint) if journal else 0
+    )
     prior = (
         journal.prior_verdict(key)
         if journal and start
@@ -309,6 +481,7 @@ def subset_property(
                 total=len(outer),
                 ok=prior["ok"] and not violations,
                 violations=prior["violations"] + len(violations),
+                fingerprint=fingerprint,
                 flush=flush,
             )
 
@@ -333,6 +506,7 @@ def subset_property(
                                 total=len(outer),
                                 ok=False,
                                 violations=prior["violations"] + len(violations),
+                                fingerprint=fingerprint,
                             )
                         return report(False)
                 instances_checked += plan.weight_of(position)
@@ -355,8 +529,65 @@ def subset_property(
             total=len(outer),
             ok=prior["ok"] and not violations,
             violations=prior["violations"] + len(violations),
+            fingerprint=fingerprint,
         )
     return report(not violations)
+
+
+def _merge_subset_reports(
+    reports: Dict[int, SubsetPropertyReport],
+    plan: SweepPlan,
+    universe: Sequence[Instance],
+    *,
+    shards: int,
+    key: str,
+    journal: Optional[CheckpointJournal],
+) -> SubsetPropertyReport:
+    """Fold per-shard reports back into the unsharded report.
+
+    Violations are re-sorted into the serial sweep's pair order and
+    the counters summed — the outer stream is partitioned exactly, so
+    under ``stop_at_first_violation=False`` the merge reproduces the
+    serial report byte for byte.  Shards completed by peer processes
+    (absent from *reports*) contribute their journal verdict: their
+    ok/violation counts fold into ``holds`` and ``checked`` stays
+    local, mirroring how a resumed unsharded sweep accounts for its
+    pre-restart prefix.
+    """
+    holds = all(report.holds for report in reports.values())
+    if journal is not None:
+        journal.reload()
+        for shard in range(shards):
+            if shard in reports:
+                continue
+            prior = journal.prior_verdict(shard_entry_key(key, shard, shards))
+            if not prior["ok"] or prior["violations"]:
+                holds = False
+    order = _serial_pair_order(plan.outer, universe)
+    violations = tuple(
+        sorted(
+            (
+                pair
+                for report in reports.values()
+                for pair in report.violations
+            ),
+            key=order,
+        )
+    )
+    return SubsetPropertyReport(
+        holds and not violations,
+        sum(report.checked for report in reports.values()),
+        violations,
+        coverage=_worst_coverage(
+            reports[shard].coverage for shard in sorted(reports)
+        ),
+        instances_checked=sum(
+            report.instances_checked for report in reports.values()
+        ),
+        orbits_checked=sum(
+            report.orbits_checked for report in reports.values()
+        ),
+    )
 
 
 def _has_subset_witness(
@@ -416,6 +647,8 @@ def unique_solutions_property(
     budget: Optional[Budget] = None,
     symmetry: Optional[str] = None,
     backend: Optional[str] = None,
+    shards: Optional[int] = None,
+    shard_id: Optional[int] = None,
 ) -> Tuple[bool, Tuple[Tuple[Instance, Instance], ...]]:
     """Bounded check of the unique-solutions property (from [3]).
 
@@ -433,37 +666,94 @@ def unique_solutions_property(
     outer loop (the inner loop still ranges over the full universe, so
     the verdict matches the full sweep exactly); ``orbits_checked`` on
     the verdict counts them.
+
+    *shards* / *shard_id* partition the outer loop by instance content
+    digest (see :func:`repro.engine.symmetry.shard_of_instance`): a
+    fixed *shard_id* sweeps just that slice, no *shard_id* sweeps all
+    shards here and merges the slices back into exactly the unsharded
+    verdict.
     """
+    default_store()
     ordered = list(universe)
     plan = _plan_sweep(symmetry, ordered, mappings=(mapping,))
     budget = _resolve_budget(budget)
+    shards, shard_id = resolve_shards(shards, shard_id)
+    if shards <= 1:
+        return _unique_solutions_sweep(
+            mapping, ordered, plan, None,
+            workers=workers, budget=budget, backend=backend,
+        )
+    shard_ids = [shard_id] if shard_id is not None else list(range(shards))
+    verdicts = [
+        _unique_solutions_sweep(
+            mapping, ordered, plan, (shards, which),
+            workers=workers, budget=budget, backend=backend,
+        )
+        for which in shard_ids
+    ]
+    if shard_id is not None:
+        return verdicts[0]
+    return _merge_sweep_verdicts(verdicts, plan, ordered)
+
+
+def _unique_solutions_sweep(
+    mapping: SchemaMapping,
+    ordered: Sequence[Instance],
+    plan: SweepPlan,
+    shard: Optional[Tuple[int, int]],
+    *,
+    workers: Optional[int],
+    budget: Optional[Budget],
+    backend: Optional[str],
+) -> SweepVerdict:
+    """One (possibly shard-restricted) unique-solutions sweep.
+
+    Under a reduced plan the shard restricts the representative
+    stream via :meth:`SweepPlan.shard`; under a full plan it restricts
+    the left *indices* directly, preserving the serial upper-triangle
+    cut (each kept left index still compares against every later
+    universe instance, so the shard slices partition the serial pair
+    stream exactly).
+    """
     runner = ParallelUniverseRunner(workers)
     violations: List[Tuple[Instance, Instance]] = []
     coverage = COVERAGE_EXHAUSTIVE
     instances_checked = 0
     orbits_checked = 0
     position = 0
+    work_plan = plan
     with engine_stats().phase("check.unique_solutions"), use_budget(
         budget
     ), use_ground_keys(plan.ground_keys), use_backend(backend):
         if plan.reduced:
+            if shard is not None:
+                work_plan = plan.shard(*shard)
             results = runner.map_iter(
                 _unique_solutions_orbit_task,
-                range(len(plan.outer)),
-                shared=(mapping, plan.outer, ordered),
+                range(len(work_plan.outer)),
+                shared=(mapping, work_plan.outer, ordered),
                 budget=budget,
             )
         else:
+            if shard is None:
+                indices: Sequence[int] = range(len(ordered))
+            else:
+                shard_count, which = shard
+                indices = [
+                    index
+                    for index in range(len(ordered))
+                    if shard_of_instance(ordered[index], shard_count) == which
+                ]
             results = runner.map_iter(
                 _unique_solutions_task,
-                range(len(ordered)),
+                indices,
                 shared=(mapping, ordered),
                 budget=budget,
             )
         try:
             for found in results:
                 violations.extend(found)
-                instances_checked += plan.weight_of(position)
+                instances_checked += work_plan.weight_of(position)
                 position += 1
                 if plan.reduced:
                     orbits_checked += 1
@@ -480,6 +770,31 @@ def unique_solutions_property(
         coverage=coverage,
         instances_checked=instances_checked,
         orbits_checked=orbits_checked,
+    )
+
+
+def _merge_sweep_verdicts(
+    verdicts: Sequence[SweepVerdict],
+    plan: SweepPlan,
+    ordered: Sequence[Instance],
+) -> SweepVerdict:
+    """Fold per-shard sweep verdicts back into the unsharded one
+    (violations re-sorted into serial pair order, counters summed)."""
+    order = _serial_pair_order(ordered, ordered)
+    violations = tuple(
+        sorted(
+            (pair for verdict in verdicts for pair in verdict.violators),
+            key=order,
+        )
+    )
+    return SweepVerdict(
+        not violations and all(verdict.ok for verdict in verdicts),
+        violations,
+        coverage=_worst_coverage(verdict.coverage for verdict in verdicts),
+        instances_checked=sum(
+            verdict.instances_checked for verdict in verdicts
+        ),
+        orbits_checked=sum(verdict.orbits_checked for verdict in verdicts),
     )
 
 
@@ -525,6 +840,8 @@ def is_quasi_inverse(
     budget: Optional[Budget] = None,
     symmetry: Optional[str] = None,
     backend: Optional[str] = None,
+    shards: Optional[int] = None,
+    shard_id: Optional[int] = None,
 ) -> InverseCheckReport:
     """Bounded check that *candidate* is a quasi-inverse of *mapping*.
 
@@ -545,6 +862,8 @@ def is_quasi_inverse(
         budget=budget,
         symmetry=symmetry,
         backend=backend,
+        shards=shards,
+        shard_id=shard_id,
     )
 
 
@@ -562,6 +881,8 @@ def is_generalized_inverse(
     budget: Optional[Budget] = None,
     symmetry: Optional[str] = None,
     backend: Optional[str] = None,
+    shards: Optional[int] = None,
+    shard_id: Optional[int] = None,
 ) -> InverseCheckReport:
     """Bounded check of Definition 3.3: is *candidate* a
     (∼1,∼2)-inverse of *mapping*?
@@ -578,7 +899,11 @@ def is_generalized_inverse(
     ``symmetry="orbits"`` reduces the outer (I1) loop to orbit
     representatives when both mappings and both relations are
     permutation-invariant; the inner loops stay on the full pools.
+    *shards* / *shard_id* partition the outer loop exactly as in
+    :func:`subset_property` (merged reports reproduce the serial one
+    under ``stop_at_first_mismatch=False``).
     """
+    default_store()
     universe = list(universe)
     witnesses = (
         list(witness_universe)
@@ -592,6 +917,7 @@ def is_generalized_inverse(
         relations=(relation1, relation2),
     )
     budget = _resolve_budget(budget)
+    shards, shard_id = resolve_shards(shards, shard_id)
     shared = (
         mapping,
         candidate,
@@ -604,14 +930,17 @@ def is_generalized_inverse(
     with engine_stats().phase("check.generalized_inverse"), use_budget(
         budget
     ), use_ground_keys(plan.ground_keys), use_backend(backend):
-        return _merge_inverse_events(
-            ParallelUniverseRunner(workers),
+        return _sharded_inverse_check(
             _generalized_inverse_task,
             plan,
+            universe,
             shared,
             stop_at_first_mismatch,
+            workers=workers,
             budget=budget,
             phase="check.generalized_inverse",
+            shards=shards,
+            shard_id=shard_id,
         )
 
 
@@ -696,6 +1025,66 @@ def _is_inverse_task(left: Instance) -> _InverseEvents:
     return events, None
 
 
+def _sharded_inverse_check(
+    task: Callable[[Instance], _InverseEvents],
+    plan: SweepPlan,
+    universe: Sequence[Instance],
+    shared: Tuple,
+    stop_at_first_mismatch: bool,
+    *,
+    workers: Optional[int],
+    budget: Optional[Budget],
+    phase: str,
+    shards: int,
+    shard_id: Optional[int],
+) -> InverseCheckReport:
+    """Run an inverse-style pair check unsharded, on one shard, or on
+    every shard locally with the shard reports merged back."""
+    runner = ParallelUniverseRunner(workers)
+    if shards <= 1:
+        return _merge_inverse_events(
+            runner, task, plan, shared, stop_at_first_mismatch,
+            budget=budget, phase=phase,
+        )
+    shard_ids = [shard_id] if shard_id is not None else list(range(shards))
+    reports = [
+        _merge_inverse_events(
+            runner, task, plan.shard(shards, which), shared,
+            stop_at_first_mismatch, budget=budget, phase=phase,
+        )
+        for which in shard_ids
+    ]
+    if shard_id is not None:
+        return reports[0]
+    return _merge_inverse_reports(reports, plan, universe)
+
+
+def _merge_inverse_reports(
+    reports: Sequence[InverseCheckReport],
+    plan: SweepPlan,
+    universe: Sequence[Instance],
+) -> InverseCheckReport:
+    """Fold per-shard inverse reports back into the unsharded one
+    (mismatches re-sorted into serial pair order, counters summed)."""
+    order = _serial_pair_order(plan.outer, universe)
+    mismatches = tuple(
+        sorted(
+            (entry for report in reports for entry in report.mismatches),
+            key=order,
+        )
+    )
+    return InverseCheckReport(
+        not mismatches and all(report.holds for report in reports),
+        sum(report.checked for report in reports),
+        mismatches,
+        coverage=_worst_coverage(report.coverage for report in reports),
+        instances_checked=sum(
+            report.instances_checked for report in reports
+        ),
+        orbits_checked=sum(report.orbits_checked for report in reports),
+    )
+
+
 def _merge_inverse_events(
     runner: ParallelUniverseRunner,
     task: Callable[[Instance], _InverseEvents],
@@ -778,6 +1167,8 @@ def is_inverse(
     budget: Optional[Budget] = None,
     symmetry: Optional[str] = None,
     backend: Optional[str] = None,
+    shards: Optional[int] = None,
+    shard_id: Optional[int] = None,
 ) -> InverseCheckReport:
     """Bounded check that *candidate* is an inverse of *mapping*.
 
@@ -790,20 +1181,27 @@ def is_inverse(
     when it trips, the report carries partial ``coverage``.
     ``symmetry="orbits"`` reduces the outer loop to orbit
     representatives when both mappings are permutation-invariant.
+    *shards* / *shard_id* partition the outer loop exactly as in
+    :func:`subset_property`.
     """
+    default_store()
     universe = list(universe)
     plan = _plan_sweep(symmetry, universe, mappings=(mapping, candidate))
     budget = _resolve_budget(budget)
+    shards, shard_id = resolve_shards(shards, shard_id)
     shared = (mapping, candidate, universe, max_nulls)
     with engine_stats().phase("check.is_inverse"), use_budget(
         budget
     ), use_ground_keys(plan.ground_keys), use_backend(backend):
-        return _merge_inverse_events(
-            ParallelUniverseRunner(workers),
+        return _sharded_inverse_check(
             _is_inverse_task,
             plan,
+            universe,
             shared,
             stop_at_first_mismatch,
+            workers=workers,
             budget=budget,
             phase="check.is_inverse",
+            shards=shards,
+            shard_id=shard_id,
         )

@@ -33,10 +33,12 @@ from repro.engine.budget import (
     record_coverage,
     use_budget,
 )
+from repro.engine.cache import mapping_key
 from repro.engine.checkpoint import CheckpointJournal, default_journal, sweep_key
 from repro.engine.instrumentation import engine_stats
 from repro.engine.kernel import use_backend
 from repro.engine.parallel import ParallelUniverseRunner, get_shared
+from repro.engine.store import stable_digest
 from repro.engine.symmetry import plan_sweep, use_ground_keys
 from repro.errors import BudgetExceeded, WorkerFault, governed_coverage
 
@@ -198,7 +200,20 @@ def _sweep(
         len(ordered),
         plan.mode,
     )
-    start = journal.resume_index(key, len(plan.outer)) if journal else 0
+    fingerprint = stable_digest(
+        [
+            label,
+            plan.mode,
+            mapping_key(mapping),
+            mapping_key(reverse_mapping),
+            [instance.sorted_facts() for instance in ordered],
+        ]
+    )[:16]
+    start = (
+        journal.resume_index(key, len(plan.outer), fingerprint)
+        if journal
+        else 0
+    )
     prior = (
         journal.prior_verdict(key)
         if journal and start
@@ -219,6 +234,7 @@ def _sweep(
                 total=len(plan.outer),
                 ok=prior["ok"] and not violators,
                 violations=prior["violations"] + len(violators),
+                fingerprint=fingerprint,
                 flush=flush,
             )
 
@@ -259,6 +275,7 @@ def _sweep(
             total=len(plan.outer),
             ok=prior["ok"] and not violators,
             violations=prior["violations"] + len(violators),
+            fingerprint=fingerprint,
         )
     return SweepVerdict(
         prior["ok"] and not violators,

@@ -22,10 +22,17 @@ fast:
   instance cap, chase-step cap, RSS watermark) that degrade blown-up
   sweeps into partial verdicts instead of lost work;
 * :mod:`repro.engine.checkpoint` — a journal of verified instance
-  ranges so interrupted sweeps resume where they stopped;
+  ranges (fingerprint-guarded against stale entries) so interrupted
+  sweeps resume where they stopped, plus per-shard lease records for
+  multi-process sharded sweeps with work-stealing;
+* :mod:`repro.engine.store` — an on-disk, content-addressed
+  chase/verdict store (SQLite; the ``--store`` / ``REPRO_STORE``
+  knob) backing the memo caches as a write-through second level
+  shared across runs, processes, and CI;
 * :mod:`repro.engine.symmetry` — canonical forms of ground instances
   under domain permutation, orbit-reduced sweep plans (the
-  ``--symmetry orbits`` mode), and symmetry-aware cache keys;
+  ``--symmetry orbits`` mode), content-addressed sweep sharding (the
+  ``--shards`` mode), and symmetry-aware cache keys;
 * :mod:`repro.engine.compile` / :mod:`repro.engine.kernel` — the
   opt-in compiled backend (the ``--backend kernel`` mode): term
   interning, premises compiled once into ordered array join plans,
@@ -51,17 +58,29 @@ from repro.engine.budget import (
 from repro.engine.cache import (
     CacheStats,
     MemoCache,
+    active_store,
     all_cache_stats,
     cached_chase_result,
     canonical_key,
     canonicalize_instance,
     chase_cache,
+    configured_maxsize,
+    flush_active_store,
+    install_store,
     mapping_key,
     reset_all_caches,
     resize_caches,
     verdict_cache,
 )
-from repro.engine.checkpoint import CheckpointJournal, default_journal, sweep_key
+from repro.engine.checkpoint import (
+    CheckpointJournal,
+    claim_shards,
+    default_journal,
+    dropped_flush_count,
+    reset_dropped_flush_count,
+    shard_entry_key,
+    sweep_key,
+)
 from repro.engine.compile import CompiledPremise
 from repro.engine.indexing import FactIndex, fact_index, index_build_count
 from repro.engine.kernel import (
@@ -91,6 +110,13 @@ from repro.engine.parallel import (
     fork_available,
     set_default_workers,
 )
+from repro.engine.store import (
+    ENGINE_VERSION,
+    VerdictStore,
+    default_store,
+    stable_digest,
+    use_store,
+)
 from repro.engine.symmetry import (
     SYMMETRY_FULL,
     SYMMETRY_MODES,
@@ -103,6 +129,7 @@ from repro.engine.symmetry import (
     canonical_representative,
     count_orbits,
     decanonicalize,
+    default_shards,
     default_symmetry,
     ground_canonical_form,
     ground_keys_active,
@@ -112,7 +139,11 @@ from repro.engine.symmetry import (
     orbit_reduce,
     orbit_transport,
     plan_sweep,
+    resolve_shards,
     resolve_symmetry,
+    set_symmetry_memo_limit,
+    shard_of_facts,
+    shard_of_instance,
     use_ground_keys,
 )
 
@@ -125,6 +156,7 @@ __all__ = [
     "CheckpointJournal",
     "CompiledPremise",
     "CoverageEvent",
+    "ENGINE_VERSION",
     "EngineStats",
     "FactIndex",
     "GroundCanonicalForm",
@@ -139,7 +171,9 @@ __all__ = [
     "SYMMETRY_ORBITS",
     "SweepPlan",
     "SweepVerdict",
+    "VerdictStore",
     "active_backend",
+    "active_store",
     "all_cache_stats",
     "cached_chase_result",
     "canonical_instances",
@@ -147,23 +181,30 @@ __all__ = [
     "canonical_representative",
     "canonicalize_instance",
     "chase_cache",
+    "claim_shards",
+    "configured_maxsize",
     "count_orbits",
     "coverage_events",
     "current_budget",
     "decanonicalize",
     "default_backend",
     "default_journal",
+    "default_shards",
+    "default_store",
     "default_symmetry",
     "default_task_timeout",
     "default_workers",
+    "dropped_flush_count",
     "engine_stats",
     "fact_index",
+    "flush_active_store",
     "fork_available",
     "ground_canonical_form",
     "ground_keys_active",
     "ground_pair_key",
     "index_build_count",
     "install_backend",
+    "install_store",
     "intern_table",
     "kernel_active",
     "kernel_instance",
@@ -176,15 +217,23 @@ __all__ = [
     "record_coverage",
     "reset_all_caches",
     "reset_coverage_events",
+    "reset_dropped_flush_count",
     "reset_engine_stats",
     "resize_caches",
     "resolve_backend",
+    "resolve_shards",
     "resolve_symmetry",
     "set_default_workers",
+    "set_symmetry_memo_limit",
+    "shard_entry_key",
+    "shard_of_facts",
+    "shard_of_instance",
+    "stable_digest",
     "sweep_key",
     "use_backend",
     "use_budget",
     "use_ground_keys",
+    "use_store",
     "verdict_cache",
     "worst_coverage",
 ]

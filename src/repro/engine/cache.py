@@ -34,6 +34,7 @@ from repro.engine.symmetry import (
     ground_canonical_form,
     ground_keys_active,
     mapping_permutation_invariant,
+    set_symmetry_memo_limit,
 )
 
 
@@ -82,13 +83,59 @@ class CacheStats:
 
 _REGISTRY: List["MemoCache"] = []
 
+#: The CLI's --cache-size knob.  ``None`` means "each cache uses its
+#: construction-time default"; an int overrides the default for every
+#: cache, *including ones constructed after the knob was set* (the
+#: kernel backend and future subsystems build MemoCaches lazily).
+_CONFIGURED_MAXSIZE: Optional[int] = None
+
+
+def configured_maxsize(fallback: int) -> int:
+    """The engine-wide cache capacity: the --cache-size override when
+    one is set, else *fallback* (a cache's construction default)."""
+    return fallback if _CONFIGURED_MAXSIZE is None else _CONFIGURED_MAXSIZE
+
+
+# The on-disk second level (a repro.engine.store.VerdictStore) behind
+# every persistent MemoCache.  Held here — not in store.py — so this
+# module never imports the store (which imports serialization, which
+# imports the core layers built on these caches).
+_STORE: Optional[Any] = None
+
+
+def install_store(store: Optional[Any]) -> None:
+    """Install (or with ``None`` remove) the ambient on-disk store the
+    memo caches consult as their second level."""
+    global _STORE
+    _STORE = store
+
+
+def active_store() -> Optional[Any]:
+    """The installed on-disk store, or ``None``."""
+    return _STORE
+
+
+def flush_active_store() -> None:
+    """Flush the ambient store's buffered writes (no-op without one)."""
+    if _STORE is not None:
+        _STORE.flush()
+
 
 class MemoCache:
-    """A bounded LRU map with hit/miss/eviction counters."""
+    """A bounded LRU map with hit/miss/eviction counters.
+
+    When an on-disk store is installed (:func:`install_store`), a
+    memory miss falls through to the store: a store hit is promoted
+    back into memory and returned as a hit (the memory ``misses``
+    counter still advances; the store keeps its own counters), and
+    every ``put`` writes through to the store.  Only caches the store
+    has a value codec for persist; others are untouched.
+    """
 
     def __init__(self, name: str, maxsize: int = 65_536) -> None:
         self.name = name
-        self.maxsize = maxsize
+        self.default_maxsize = maxsize
+        self.maxsize = configured_maxsize(maxsize)
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -100,17 +147,29 @@ class MemoCache:
             value = self._data[key]
         except KeyError:
             self.misses += 1
+            if _STORE is not None:
+                hit, value = _STORE.load(self.name, key)
+                if hit:
+                    self._insert(key, value)
+                    return True, value
             return False, None
         self._data.move_to_end(key)
         self.hits += 1
         return True, value
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def _insert(self, key: Hashable, value: Any) -> None:
+        """Memory-only insert (promotion of a store hit: no
+        write-through, the entry is already on disk)."""
         self._data[key] = value
         self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
             self.evictions += 1
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._insert(key, value)
+        if _STORE is not None:
+            _STORE.save(self.name, key, value)
 
     def memoize(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         hit, value = self.get(key)
@@ -162,11 +221,22 @@ def reset_all_caches() -> None:
         hook()
 
 
-def resize_caches(maxsize: int) -> None:
-    """Set every engine cache's capacity (the CLI's --cache-size knob)."""
+def resize_caches(maxsize: Optional[int]) -> None:
+    """Set every engine cache's capacity (the CLI's --cache-size knob).
+
+    The size also becomes the configured default for caches built
+    *afterwards* (:func:`configured_maxsize`) and is pushed into the
+    symmetry layer's canonical-form memos, so the knob applies
+    uniformly instead of only to the caches that happened to exist
+    when the CLI parsed its flags.  ``None`` clears the override:
+    existing caches return to their construction-time defaults.
+    """
+    global _CONFIGURED_MAXSIZE
+    _CONFIGURED_MAXSIZE = maxsize
+    set_symmetry_memo_limit(maxsize)
     for cache in _REGISTRY:
-        cache.maxsize = maxsize
-        while len(cache._data) > maxsize:
+        cache.maxsize = cache.default_maxsize if maxsize is None else maxsize
+        while len(cache._data) > cache.maxsize:
             cache._data.popitem(last=False)
             cache.evictions += 1
 

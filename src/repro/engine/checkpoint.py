@@ -1,4 +1,4 @@
-"""Checkpoint journal: resumable sweeps over instance universes.
+"""Checkpoint journal: resumable, shardable sweeps over instance universes.
 
 Every sweep the checkers run is a deterministic fold over an ordered
 universe, so progress is fully described by *how far the fold got*.
@@ -12,11 +12,27 @@ A :class:`CheckpointJournal` persists, per check key:
   violators only, which the report's ``resumed_from`` note records);
 * ``total`` and ``fingerprint`` — sanity guards: a journal entry is
   only honoured when the sweep being resumed has the same length and
-  derivation key, otherwise it is discarded and the sweep restarts.
+  derivation key (the fingerprint digests the sweep's actual content
+  — mapping dependencies, universe, mode), otherwise it is discarded
+  and the sweep restarts.  A journal from a different mapping or
+  universe that happens to have the same length can never be
+  silently honoured.
 
 The journal file is JSON, rewritten atomically (temp file + rename)
 every ``interval`` recorded items and at completion/interruption, so
 a SIGKILL of the whole process loses at most one interval of work.
+Flushing is best-effort: a failed rewrite never breaks the sweep, but
+it is *counted* (:func:`dropped_flush_count`, surfaced by
+``--engine-stats``) and its temp file is cleaned up.
+
+Sharded sweeps extend the journal with per-shard entries
+(:func:`shard_entry_key`) and *lease records*: sidecar lock files
+through which cooperating processes claim disjoint shards
+(:meth:`CheckpointJournal.claim_shard`).  A lease expires after its
+TTL, so the shard of a straggler or a dead worker can be *stolen* and
+re-run by whoever notices — re-running is safe because shard sweeps
+are deterministic and their chase/verdict traffic is deduplicated by
+the content-addressed store.
 
 The CLI wires this up through ``REPRO_CHECKPOINT`` (journal path) and
 ``REPRO_RESUME`` (honour previous entries instead of restarting);
@@ -29,7 +45,8 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Any, Dict, Optional
+import time
+from typing import Any, Dict, Iterator, List, Optional
 
 
 def sweep_key(*parts: Any) -> str:
@@ -38,6 +55,32 @@ def sweep_key(*parts: Any) -> str:
     no reliance on randomized ``hash()``."""
     digest = hashlib.sha1("\x1f".join(str(part) for part in parts).encode())
     return digest.hexdigest()[:16]
+
+
+def shard_entry_key(base_key: str, shard_id: int, shards: int) -> str:
+    """The journal key of one shard of a sharded sweep."""
+    return f"{base_key}:s{shard_id}of{shards}"
+
+
+#: Best-effort journal flushes that failed (and were dropped) in this
+#: process.  Surfaced by ``--engine-stats`` so silently-failing
+#: checkpointing is visible instead of discovered at resume time.
+_DROPPED_FLUSHES = 0
+
+
+def dropped_flush_count() -> int:
+    return _DROPPED_FLUSHES
+
+
+def reset_dropped_flush_count() -> None:
+    global _DROPPED_FLUSHES
+    _DROPPED_FLUSHES = 0
+
+
+#: Default shard-lease time to live.  A worker that holds a shard
+#: longer than this without completing it is treated as a straggler
+#: and its shard becomes stealable.
+DEFAULT_LEASE_TTL = 300.0
 
 
 class CheckpointJournal:
@@ -53,27 +96,46 @@ class CheckpointJournal:
         self._state: Dict[str, Dict[str, Any]] = {}
         self._pending = 0
         if resume and os.path.exists(path):
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    loaded = json.load(handle)
-                if isinstance(loaded, dict):
-                    self._state = {
-                        key: entry
-                        for key, entry in loaded.items()
-                        if isinstance(entry, dict)
-                    }
-            except (OSError, ValueError):
-                self._state = {}
+            self.reload()
+
+    def reload(self) -> None:
+        """Re-read the journal file (peers may have flushed shard
+        entries since we loaded); unreadable files read as empty."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if isinstance(loaded, dict):
+            fresh = {
+                key: entry
+                for key, entry in loaded.items()
+                if isinstance(entry, dict)
+            }
+            # Our own unflushed records win over what is on disk.
+            fresh.update(self._state)
+            self._state = fresh
 
     # -- resume ------------------------------------------------------
 
-    def resume_index(self, key: str, total: int) -> int:
-        """How many leading items of this sweep are already verified."""
+    def resume_index(
+        self, key: str, total: int, fingerprint: Optional[str] = None
+    ) -> int:
+        """How many leading items of this sweep are already verified.
+
+        An entry is honoured only when both sanity guards match: the
+        sweep length *and* (when the caller supplies one) the sweep
+        fingerprint.  An entry without a fingerprint never matches a
+        fingerprinted resume — journals written before fingerprinting
+        restart rather than risk resuming the wrong sweep.
+        """
         entry = self._state.get(key)
         if not self.resume or entry is None:
             return 0
         if entry.get("total") != total:
             return 0  # the universe changed; the entry is stale
+        if fingerprint is not None and entry.get("fingerprint") != fingerprint:
+            return 0  # same length, different sweep: never honour it
         return min(int(entry.get("verified_upto", 0)), total)
 
     def prior_verdict(self, key: str) -> Dict[str, Any]:
@@ -83,6 +145,20 @@ class CheckpointJournal:
             "ok": bool(entry.get("ok", True)),
             "violations": int(entry.get("violations", 0)),
         }
+
+    def entry_complete(
+        self, key: str, total: int, fingerprint: Optional[str] = None
+    ) -> bool:
+        """Is this sweep recorded as run to completion (with matching
+        sanity guards)?"""
+        entry = self._state.get(key)
+        if entry is None or not entry.get("complete"):
+            return False
+        if entry.get("total") != total:
+            return False
+        if fingerprint is not None and entry.get("fingerprint") != fingerprint:
+            return False
+        return True
 
     # -- record ------------------------------------------------------
 
@@ -94,6 +170,7 @@ class CheckpointJournal:
         total: int,
         ok: bool,
         violations: int,
+        fingerprint: Optional[str] = None,
         flush: bool = False,
     ) -> None:
         """Update a sweep's verified prefix; persists every
@@ -104,13 +181,20 @@ class CheckpointJournal:
             "ok": ok,
             "violations": violations,
             "complete": verified_upto >= total,
+            "fingerprint": fingerprint,
         }
         self._pending += 1
         if flush or self._pending >= self.interval:
             self.flush()
 
     def complete(
-        self, key: str, *, total: int, ok: bool, violations: int
+        self,
+        key: str,
+        *,
+        total: int,
+        ok: bool,
+        violations: int,
+        fingerprint: Optional[str] = None,
     ) -> None:
         self.record(
             key,
@@ -118,13 +202,22 @@ class CheckpointJournal:
             total=total,
             ok=ok,
             violations=violations,
+            fingerprint=fingerprint,
             flush=True,
         )
 
     def flush(self) -> None:
-        """Atomically rewrite the journal file."""
+        """Atomically rewrite the journal file.
+
+        Best-effort by design — checkpointing must never break the
+        sweep — but a failed flush is counted and its temp file
+        removed, so repeated failures are visible in --engine-stats
+        instead of silently littering the journal directory.
+        """
+        global _DROPPED_FLUSHES
         self._pending = 0
         directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        handle = None
         try:
             handle = tempfile.NamedTemporaryFile(
                 "w",
@@ -138,7 +231,166 @@ class CheckpointJournal:
                 json.dump(self._state, handle, indent=1, sort_keys=True)
             os.replace(handle.name, self.path)
         except OSError:
-            pass  # checkpointing is best-effort; never break the sweep
+            _DROPPED_FLUSHES += 1
+            if handle is not None:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+
+    # -- shard leases ------------------------------------------------
+
+    def _lease_path(self, base_key: str, shard_id: int, shards: int) -> str:
+        return f"{self.path}.lease-{sweep_key(base_key)}-{shard_id}of{shards}"
+
+    def claim_shard(
+        self,
+        base_key: str,
+        shard_id: int,
+        shards: int,
+        *,
+        owner: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+    ) -> bool:
+        """Try to claim one shard of a sharded sweep.
+
+        A claim is an exclusive-create of the shard's lease file (the
+        atomic primitive every shared filesystem provides).  It
+        succeeds when no lease exists, when we already hold the lease,
+        or when the incumbent's lease has expired — the work-stealing
+        path: the shard of a straggler or dead worker is re-claimed by
+        whoever gets here first.
+        """
+        path = self._lease_path(base_key, shard_id, shards)
+        payload = json.dumps(
+            {"owner": owner, "expires": time.time() + max(0.0, ttl)}
+        )
+        for _ in range(2):  # initial attempt + one retry after a steal
+            try:
+                descriptor = os.open(
+                    path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+                )
+            except FileExistsError:
+                lease = self._read_lease(path)
+                if lease is not None and lease.get("owner") == owner:
+                    return True  # re-entrant: we already hold it
+                if lease is not None and lease.get("expires", 0) > time.time():
+                    return False  # live lease held by a peer
+                # Expired or unreadable: steal by unlinking and retrying
+                # the exclusive create (a racing peer may win the retry).
+                try:
+                    os.unlink(path)
+                except OSError:
+                    return False
+                continue
+            except OSError:
+                return False
+            try:
+                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                return True
+            except OSError:
+                return False
+        return False
+
+    def release_shard(
+        self, base_key: str, shard_id: int, shards: int, *, owner: str
+    ) -> None:
+        """Drop our lease on a shard (best effort; only our own)."""
+        path = self._lease_path(base_key, shard_id, shards)
+        lease = self._read_lease(path)
+        if lease is not None and lease.get("owner") != owner:
+            return
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _read_lease(path: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lease = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return lease if isinstance(lease, dict) else None
+
+    def shard_states(
+        self,
+        base_key: str,
+        shards: int,
+        total_of: Any = None,
+        fingerprint: Optional[str] = None,
+    ) -> List[str]:
+        """Per-shard status: ``"complete"`` | ``"leased"`` | ``"open"``."""
+        states = []
+        for shard_id in range(shards):
+            key = shard_entry_key(base_key, shard_id, shards)
+            entry = self._state.get(key)
+            if entry is not None and entry.get("complete") and (
+                fingerprint is None or entry.get("fingerprint") == fingerprint
+            ):
+                states.append("complete")
+                continue
+            lease = self._read_lease(
+                self._lease_path(base_key, shard_id, shards)
+            )
+            if lease is not None and lease.get("expires", 0) > time.time():
+                states.append("leased")
+            else:
+                states.append("open")
+        return states
+
+
+def claim_shards(
+    journal: Optional[CheckpointJournal],
+    base_key: str,
+    shards: int,
+    *,
+    owner: str,
+    fingerprint: Optional[str] = None,
+    ttl: float = DEFAULT_LEASE_TTL,
+    poll_interval: float = 0.05,
+) -> Iterator[int]:
+    """Yield the shard ids this worker should run, with work-stealing.
+
+    Without a journal every shard is ours.  With one, the claim loop
+    keeps going until every shard is *complete* in the journal:
+    unclaimed shards are claimed and yielded; shards leased by live
+    peers are left alone (their owners' journal entries count them);
+    a lease that expires before its shard completes — a straggler or
+    a dead worker — is stolen and the shard re-run here.  The caller
+    must mark each yielded shard complete in the journal (the sharded
+    checkers do, via their per-shard entries) before the loop can
+    terminate.
+    """
+    if journal is None:
+        yield from range(shards)
+        return
+    while True:
+        journal.reload()
+        states = journal.shard_states(base_key, shards, fingerprint=fingerprint)
+        if all(state == "complete" for state in states):
+            return
+        progressed = False
+        for shard_id, state in enumerate(states):
+            if state == "complete":
+                continue
+            if journal.claim_shard(
+                base_key, shard_id, shards, owner=owner, ttl=ttl
+            ):
+                progressed = True
+                try:
+                    yield shard_id
+                finally:
+                    journal.release_shard(
+                        base_key, shard_id, shards, owner=owner
+                    )
+        if not progressed:
+            # Everything unfinished is leased to live peers; wait for
+            # them to finish (their entries complete) or for their
+            # leases to expire (we steal).
+            time.sleep(poll_interval)
 
 
 # -- the ambient journal --------------------------------------------------
@@ -162,4 +414,13 @@ def default_journal() -> Optional[CheckpointJournal]:
     return _DEFAULT
 
 
-__all__ = ["CheckpointJournal", "default_journal", "sweep_key"]
+__all__ = [
+    "CheckpointJournal",
+    "DEFAULT_LEASE_TTL",
+    "claim_shards",
+    "default_journal",
+    "dropped_flush_count",
+    "reset_dropped_flush_count",
+    "shard_entry_key",
+    "sweep_key",
+]

@@ -80,7 +80,8 @@ class EngineStats:
         :meth:`repro.engine.cache.CacheStats.counters` — the same keys
         the rendered report is built from, so the two can never drift
         apart on naming again."""
-        from repro.engine.cache import all_cache_stats
+        from repro.engine.cache import active_store, all_cache_stats
+        from repro.engine.checkpoint import dropped_flush_count
 
         counters: Dict[str, float] = {}
         for name, stats in sorted(self.phases.items()):
@@ -90,11 +91,16 @@ class EngineStats:
         counters["worker_faults"] = self.worker_faults
         for cache_stats in all_cache_stats():
             counters.update(cache_stats.counters())
+        store = active_store()
+        if store is not None:
+            counters.update(store.stats().counters())
+        counters["checkpoint_dropped_flushes"] = dropped_flush_count()
         return counters
 
     def render(self) -> str:
-        """A compact multi-line report (phases, caches, throughput)."""
-        from repro.engine.cache import all_cache_stats
+        """A compact multi-line report (phases, caches, store, throughput)."""
+        from repro.engine.cache import active_store, all_cache_stats
+        from repro.engine.checkpoint import dropped_flush_count
 
         lines: List[str] = ["engine stats:"]
         for name, stats in sorted(self.phases.items()):
@@ -108,6 +114,12 @@ class EngineStats:
             lines.append(f"  worker faults recovered  {self.worker_faults:>8}")
         for cache_stats in all_cache_stats():
             lines.append(f"  {cache_stats.render()}")
+        store = active_store()
+        if store is not None:
+            lines.append(f"  {store.stats().render()}")
+        dropped = dropped_flush_count()
+        if dropped:
+            lines.append(f"  checkpoint flushes dropped {dropped:>6}")
         if len(lines) == 1:
             lines.append("  (no engine activity recorded)")
         return "\n".join(lines)

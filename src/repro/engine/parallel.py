@@ -53,6 +53,7 @@ import warnings
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.engine.budget import Budget, current_budget, install_budget
+from repro.engine.cache import flush_active_store
 from repro.engine.instrumentation import engine_stats
 from repro.engine.kernel import active_backend, install_backend
 from repro.errors import WorkerFault
@@ -161,6 +162,9 @@ def _supervised_call(batch: Sequence[Tuple[int, Any]]) -> List[Any]:
     for index, item in batch:
         _apply_fault_hooks(index)
         results.append(_TASK(item))
+    # Persist this chunk's chase/verdict traffic before the worker is
+    # potentially recycled — the store's writes are multi-process safe.
+    flush_active_store()
     return results
 
 
@@ -263,6 +267,7 @@ class ParallelUniverseRunner:
         finally:
             _SHARED = previous
             stats.count_instances(count)
+            flush_active_store()
 
     # -- supervised parallel dispatch --------------------------------
 

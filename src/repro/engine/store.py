@@ -1,0 +1,452 @@
+"""Disk-persistent, content-addressed verdict/chase store.
+
+The in-memory :class:`~repro.engine.cache.MemoCache`s make a *single*
+run cheap: thousands of near-identical chase and homomorphism calls
+collapse onto one computation each.  But every run — every CI job,
+every re-sweep of the catalog — rebuilds those caches from nothing.
+This module adds a second level below them: a SQLite-backed
+:class:`VerdictStore` keyed by exactly the canonical content keys the
+memo caches already use (canonical instance forms plus
+:func:`~repro.engine.cache.mapping_key`), shared across runs, shards,
+and CI jobs.
+
+Layering contract:
+
+* the memo caches stay the first level — a store probe happens only on
+  a memory miss, and a store hit is immediately promoted back into the
+  memory cache, so hot loops never touch the disk twice for one key;
+* writes are *write-through but buffered*: ``put`` into a persistent
+  cache enqueues the entry, and batches land in one SQLite transaction
+  every ``flush_interval`` entries (and at sweep/process end), so the
+  store can keep up with verdict-rate traffic;
+* the store is a **cache, never an authority**: any SQLite error
+  (locked database, read-only filesystem, disk full) is swallowed and
+  counted (``store_write_errors`` in ``--engine-stats``), and the
+  sweep proceeds on computation alone;
+* multi-process safety comes from SQLite itself (WAL journal, busy
+  timeout, ``INSERT OR REPLACE`` upserts in short transactions) plus a
+  fork guard: a connection is never used across a ``fork`` — workers
+  detect the pid change, drop the parent's pending buffer (the parent
+  flushes its own), and reopen;
+* every store carries an **engine version** (:data:`ENGINE_VERSION`).
+  Opening a store written by a different engine version atomically
+  drops its entries — canonical forms, key layouts, and value codecs
+  may have changed, and a stale entry must never be served.
+
+Only caches with a registered value codec persist: ``chase`` (values
+are :class:`~repro.datamodel.instances.Instance`, serialized with
+:mod:`repro.export.serialization`) and ``verdict`` (booleans).  The
+kernel backend's interned-object caches are process-local by nature
+and are deliberately not persisted.
+
+The CLI wires this up through ``--store PATH`` / ``REPRO_STORE``;
+checkers install the ambient store via :func:`default_store`, and
+benchmarks use the :func:`use_store` context manager.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
+
+from repro.engine.cache import active_store, install_store
+
+#: Bump whenever cache key derivation, canonical forms, or value
+#: codecs change semantics: a store written by another engine version
+#: is dropped on open, never reinterpreted.
+ENGINE_VERSION = "2026.08-pr6"
+
+_BUSY_TIMEOUT_SECONDS = 5.0
+
+
+# -- stable content digests ------------------------------------------------
+
+
+#: Memo of composite-part encodings, keyed by the part itself.  The
+#: same canonical instance forms recur in thousands of distinct memo
+#: keys per sweep, and re-walking them atom by atom dominated warm
+#: store probes.  The memo is keyed by ``==``/``hash`` — exactly the
+#: equality the in-memory :class:`~repro.engine.cache.MemoCache`
+#: already uses for its keys — so the encoding must be (and is) a
+#: function of the equality class: booleans encode as their integer
+#: value because ``True == 1`` is one memo key either way.
+_ENCODE_MEMO: Dict[Any, str] = {}
+_ENCODE_MEMO_MAX = 1 << 20
+
+
+def _encode(part: Any, out: list) -> None:
+    """Append a canonical, process-independent encoding of *part*.
+
+    Handles the shapes that occur in memo-cache keys: primitives,
+    tuples, frozensets (encoded sorted, so iteration order cannot
+    leak in), and datamodel objects exposing ``sort_key()`` (terms and
+    atoms), which are encoded through that deterministic key."""
+    if isinstance(part, str):
+        out.append("s:" + part)
+    elif isinstance(part, (bool, int)):
+        out.append(f"i:{int(part)}")
+    elif part is None:
+        out.append("z")
+    elif isinstance(part, (tuple, list, frozenset, set)) or hasattr(
+        part, "sort_key"
+    ):
+        out.append(_encode_composite(part))
+    else:
+        # Last resort: repr.  Dependency canonical forms and similar
+        # frozen dataclasses render deterministically.
+        out.append("r:" + repr(part))
+
+
+def _encode_composite(part: Any) -> str:
+    """Encode one composite part, memoized when hashable."""
+    hashable = True
+    try:
+        cached = _ENCODE_MEMO.get(part)
+    except TypeError:
+        hashable, cached = False, None
+    if cached is not None:
+        return cached
+    out: list = []
+    if isinstance(part, (tuple, list)):
+        out.append("(")
+        for item in part:
+            _encode(item, out)
+        out.append(")")
+    elif isinstance(part, (frozenset, set)):
+        encoded = []
+        for item in part:
+            nested: list = []
+            _encode(item, nested)
+            encoded.append("\x1d".join(nested))
+        out.append("{")
+        out.extend(sorted(encoded))
+        out.append("}")
+    else:
+        out.append(f"k:{type(part).__name__}:")
+        _encode(part.sort_key(), out)
+    result = "\x1f".join(out)
+    if hashable:
+        if len(_ENCODE_MEMO) >= _ENCODE_MEMO_MAX:
+            _ENCODE_MEMO.clear()
+        _ENCODE_MEMO[part] = result
+    return result
+
+
+def stable_digest(key: Any) -> str:
+    """A stable hex digest of a memo-cache key (or any nesting of
+    tuples / frozensets / terms / atoms).  Equal keys digest equally
+    in every process — no reliance on randomized ``hash()``."""
+    out: list = []
+    _encode(key, out)
+    return hashlib.sha256("\x1f".join(out).encode()).hexdigest()
+
+
+# -- value codecs ----------------------------------------------------------
+
+
+def _instance_encode(value: Any) -> str:
+    from repro.export.serialization import instance_to_json
+
+    return json.dumps(
+        instance_to_json(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+def _instance_decode(payload: str) -> Any:
+    from repro.export.serialization import instance_from_json
+
+    return instance_from_json(json.loads(payload))
+
+
+def _bool_encode(value: Any) -> str:
+    return "1" if value else "0"
+
+
+def _bool_decode(payload: str) -> bool:
+    return payload == "1"
+
+
+#: cache name -> (encode, decode).  Only these caches persist.
+_CODECS: Dict[str, Tuple[Callable[[Any], str], Callable[[str], Any]]] = {
+    "chase": (_instance_encode, _instance_decode),
+    "verdict": (_bool_encode, _bool_decode),
+}
+
+
+# -- the store -------------------------------------------------------------
+
+
+@dataclass
+class StoreStats:
+    """Point-in-time counters for one :class:`VerdictStore`."""
+
+    path: str
+    hits: int
+    misses: int
+    writes: int
+    write_errors: int
+    entries: int
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "store_hits": self.hits,
+            "store_misses": self.misses,
+            "store_writes": self.writes,
+            "store_write_errors": self.write_errors,
+            "store_entries": self.entries,
+        }
+
+    def render(self) -> str:
+        total = self.hits + self.misses
+        rate = self.hits / total if total else 0.0
+        return (
+            f"store {os.path.basename(self.path):<16} {self.hits:>8} hits  "
+            f"{self.misses:>8} misses  ({rate:>6.1%})  "
+            f"{self.writes} writes  {self.entries} entries"
+            + (f"  {self.write_errors} write errors" if self.write_errors else "")
+        )
+
+
+class VerdictStore:
+    """On-disk second level for the content-addressed memo caches.
+
+    See the module docstring for the layering and safety contract.
+    The object is cheap to construct; the SQLite file is created (and
+    version-checked) on first use.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        *,
+        engine_version: str = ENGINE_VERSION,
+        flush_interval: int = 512,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.engine_version = engine_version
+        self.flush_interval = max(1, int(flush_interval))
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.write_errors = 0
+        self._pending: Dict[Tuple[str, str], str] = {}
+        self._connection: Optional[sqlite3.Connection] = None
+        self._pid = os.getpid()
+
+    # -- connection management ----------------------------------------
+
+    def _connect(self) -> Optional[sqlite3.Connection]:
+        """The live connection, reopened after a fork, or ``None``
+        when the store file is unusable (counted, never raised)."""
+        if os.getpid() != self._pid:
+            # Forked child: the inherited connection and the parent's
+            # pending buffer belong to the parent.  Reopen fresh.
+            self._connection = None
+            self._pending = {}
+            self._pid = os.getpid()
+        if self._connection is not None:
+            return self._connection
+        try:
+            connection = sqlite3.connect(
+                self.path, timeout=_BUSY_TIMEOUT_SECONDS
+            )
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            with connection:  # one transaction: schema + version gate
+                connection.execute(
+                    "CREATE TABLE IF NOT EXISTS entries ("
+                    " cache TEXT NOT NULL,"
+                    " key TEXT NOT NULL,"
+                    " value TEXT NOT NULL,"
+                    " PRIMARY KEY (cache, key))"
+                )
+                connection.execute(
+                    "CREATE TABLE IF NOT EXISTS meta ("
+                    " k TEXT PRIMARY KEY, v TEXT NOT NULL)"
+                )
+                row = connection.execute(
+                    "SELECT v FROM meta WHERE k = 'engine_version'"
+                ).fetchone()
+                if row is None or row[0] != self.engine_version:
+                    # Another engine's canonical forms: drop, restamp.
+                    connection.execute("DELETE FROM entries")
+                    connection.execute(
+                        "INSERT OR REPLACE INTO meta (k, v)"
+                        " VALUES ('engine_version', ?)",
+                        (self.engine_version,),
+                    )
+        except sqlite3.Error:
+            self.write_errors += 1
+            return None
+        self._connection = connection
+        return connection
+
+    # -- the MemoCache-facing protocol ---------------------------------
+
+    def persists(self, cache_name: str) -> bool:
+        """Does this store persist entries of the named cache?"""
+        return cache_name in _CODECS
+
+    def load(self, cache_name: str, key: Any) -> Tuple[bool, Any]:
+        """Probe the store for a memo key: ``(hit, decoded value)``."""
+        codec = _CODECS.get(cache_name)
+        if codec is None:
+            return False, None
+        digest = stable_digest(key)
+        payload = self._pending.get((cache_name, digest))
+        if payload is None:
+            connection = self._connect()
+            if connection is None:
+                return False, None
+            try:
+                row = connection.execute(
+                    "SELECT value FROM entries WHERE cache = ? AND key = ?",
+                    (cache_name, digest),
+                ).fetchone()
+            except sqlite3.Error:
+                self.write_errors += 1
+                return False, None
+            payload = row[0] if row is not None else None
+        if payload is None:
+            self.misses += 1
+            return False, None
+        try:
+            value = codec[1](payload)
+        except Exception:
+            # A corrupt entry is a miss, not a crash.
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def save(self, cache_name: str, key: Any, value: Any) -> None:
+        """Enqueue a write-through entry; lands at the next flush."""
+        codec = _CODECS.get(cache_name)
+        if codec is None:
+            return
+        self._pending[(cache_name, stable_digest(key))] = codec[0](value)
+        if len(self._pending) >= self.flush_interval:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write pending entries in one transaction (best effort)."""
+        if not self._pending:
+            return
+        connection = self._connect()
+        if connection is None:
+            # Keep the buffer bounded even when the disk is gone.
+            if len(self._pending) >= 4 * self.flush_interval:
+                self._pending.clear()
+            return
+        batch = [
+            (cache_name, digest, payload)
+            for (cache_name, digest), payload in self._pending.items()
+        ]
+        try:
+            with connection:
+                connection.executemany(
+                    "INSERT OR REPLACE INTO entries (cache, key, value)"
+                    " VALUES (?, ?, ?)",
+                    batch,
+                )
+        except sqlite3.Error:
+            self.write_errors += 1
+            return
+        self.writes += len(batch)
+        self._pending.clear()
+
+    def close(self) -> None:
+        self.flush()
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except sqlite3.Error:
+                pass
+            self._connection = None
+
+    # -- introspection -------------------------------------------------
+
+    def entry_count(self) -> int:
+        connection = self._connect()
+        if connection is None:
+            return 0
+        try:
+            row = connection.execute("SELECT COUNT(*) FROM entries").fetchone()
+        except sqlite3.Error:
+            return 0
+        return int(row[0]) + len(self._pending)
+
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            self.path,
+            self.hits,
+            self.misses,
+            self.writes,
+            self.write_errors,
+            self.entry_count(),
+        )
+
+
+# -- ambient store ---------------------------------------------------------
+
+_DEFAULT: Optional[VerdictStore] = None
+_DEFAULT_PATH: Optional[str] = None
+
+
+def default_store() -> Optional[VerdictStore]:
+    """Install (and return) the store named by ``REPRO_STORE``.
+
+    Memoized per path; checkers call this on entry so the environment
+    knob takes effect without explicit plumbing.  Returns the already
+    installed store when one was installed programmatically."""
+    global _DEFAULT, _DEFAULT_PATH
+    path = os.environ.get("REPRO_STORE")
+    if not path:
+        if _DEFAULT is not None and active_store() is _DEFAULT:
+            install_store(None)
+        _DEFAULT, _DEFAULT_PATH = None, None
+        return active_store()
+    if _DEFAULT is None or _DEFAULT_PATH != path:
+        _DEFAULT = VerdictStore(path)
+        _DEFAULT_PATH = path
+    if active_store() is not _DEFAULT:
+        install_store(_DEFAULT)
+    return _DEFAULT
+
+
+@contextmanager
+def use_store(
+    store: Union[VerdictStore, str, os.PathLike, None]
+) -> Iterator[Optional[VerdictStore]]:
+    """Install *store* (a :class:`VerdictStore` or a path) as the
+    memo caches' second level for the enclosed block; flushes and
+    restores the previous store on exit.  ``None`` disables the store
+    for the block (useful for guaranteed-cold benchmark runs)."""
+    opened: Optional[VerdictStore]
+    if store is None or isinstance(store, VerdictStore):
+        opened = store
+    else:
+        opened = VerdictStore(store)
+    previous = active_store()
+    install_store(opened)
+    try:
+        yield opened
+    finally:
+        if opened is not None:
+            opened.flush()
+        install_store(previous)
+
+
+__all__ = [
+    "ENGINE_VERSION",
+    "StoreStats",
+    "VerdictStore",
+    "default_store",
+    "stable_digest",
+    "use_store",
+]

@@ -40,6 +40,7 @@ hit the memo caches once per orbit across *all* sweeps of a run.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -399,8 +400,28 @@ class GroundCanonicalForm:
 # thousands of times, so both entry points memoize by exact fact sets.
 _FORM_MEMO: Dict[FrozenSet[Atom], GroundCanonicalForm] = {}
 _PAIR_MEMO: Dict[Tuple[FrozenSet[Atom], FrozenSet[Atom]], Tuple] = {}
-_FORM_MEMO_MAX = 65_536
-_PAIR_MEMO_MAX = 262_144
+_FORM_MEMO_DEFAULT = 65_536
+_PAIR_MEMO_DEFAULT = 262_144
+_FORM_MEMO_MAX = _FORM_MEMO_DEFAULT
+_PAIR_MEMO_MAX = _PAIR_MEMO_DEFAULT
+
+
+def set_symmetry_memo_limit(maxsize: Optional[int]) -> None:
+    """Bound the canonical-form memo tables (pushed down from
+    :func:`repro.engine.cache.resize_caches`, so the CLI's
+    --cache-size knob governs these memos too).  ``None`` restores
+    the construction defaults."""
+    global _FORM_MEMO_MAX, _PAIR_MEMO_MAX
+    if maxsize is None:
+        _FORM_MEMO_MAX = _FORM_MEMO_DEFAULT
+        _PAIR_MEMO_MAX = _PAIR_MEMO_DEFAULT
+    else:
+        _FORM_MEMO_MAX = max(1, int(maxsize))
+        _PAIR_MEMO_MAX = max(1, int(maxsize))
+    if len(_FORM_MEMO) > _FORM_MEMO_MAX:
+        _FORM_MEMO.clear()
+    if len(_PAIR_MEMO) > _PAIR_MEMO_MAX:
+        _PAIR_MEMO.clear()
 
 
 def clear_symmetry_memos() -> None:
@@ -778,6 +799,32 @@ class SweepPlan:
             return position
         return sum(self.weights[:position])
 
+    def shard(self, shards: int, shard_id: int) -> "SweepPlan":
+        """The sub-plan of the outer items owned by *shard_id* (see
+        :func:`shard_of_instance`).  Relative order — and therefore
+        serial merge order within the shard — is preserved, and every
+        outer item belongs to exactly one shard, so the shard reports
+        merge back to the unsharded report exactly."""
+        if not 0 <= shard_id < shards:
+            raise ValueError(
+                f"shard_id must be in [0, {shards}), got {shard_id}"
+            )
+        keep = [
+            position
+            for position, instance in enumerate(self.outer)
+            if shard_of_instance(instance, shards) == shard_id
+        ]
+        return SweepPlan(
+            self.mode,
+            [self.outer[position] for position in keep],
+            (
+                [self.weights[position] for position in keep]
+                if self.weights is not None
+                else None
+            ),
+            self.ground_keys,
+        )
+
 
 def plan_sweep(
     symmetry: Optional[str],
@@ -814,6 +861,82 @@ def plan_sweep(
         [cls.weight for cls in classes],
         True,
     )
+
+
+# -- sharded orbit enumeration ---------------------------------------------
+#
+# Independent workers — processes today, machines tomorrow — claim
+# disjoint ranges of the canonical-form space by digest prefix: the
+# shard of an instance is derived from its canonical form, so every
+# member of a domain-permutation orbit lands in the same shard and a
+# shard is a self-contained sub-sweep.  The partition depends only on
+# instance *content*, never on enumeration order or process state, so
+# every worker agrees on who owns what without coordination.
+
+
+def shard_of_facts(facts: FrozenSet[Atom], shards: int) -> int:
+    """The shard owning a (canonical) fact set: the leading 8 bytes of
+    the fact set's content digest, reduced mod *shards*.  Stable
+    across processes and runs."""
+    encoded = "\x1e".join(
+        sorted(repr(fact.sort_key()) for fact in facts)
+    )
+    digest = hashlib.sha1(encoded.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def shard_of_instance(instance: Instance, shards: int) -> int:
+    """The shard owning *instance*.
+
+    Ground instances shard by their canonical form under domain
+    permutation, so an orbit never straddles shards (and the shard of
+    an orbit representative equals the shard of every member);
+    non-ground instances shard by their exact fact set.
+    """
+    if shards <= 1:
+        return 0
+    if instance.is_ground():
+        return shard_of_facts(ground_canonical_form(instance).key(), shards)
+    return shard_of_facts(instance.facts, shards)
+
+
+def default_shards() -> Tuple[int, Optional[int]]:
+    """The environment-configured sharding: ``(REPRO_SHARDS,
+    REPRO_SHARD_ID)``, defaulting to ``(1, None)`` — sharding is
+    opt-in.  Unparsable values fall back to the default."""
+    try:
+        shards = max(1, int(os.environ.get("REPRO_SHARDS", "1")))
+    except ValueError:
+        shards = 1
+    raw_id = os.environ.get("REPRO_SHARD_ID", "")
+    shard_id: Optional[int]
+    try:
+        shard_id = int(raw_id) if raw_id != "" else None
+    except ValueError:
+        shard_id = None
+    return shards, shard_id
+
+
+def resolve_shards(
+    shards: Optional[int], shard_id: Optional[int]
+) -> Tuple[int, Optional[int]]:
+    """Explicit sharding arguments, else the environment defaults.
+
+    Returns ``(shards, shard_id)`` with ``shards >= 1``; ``shard_id``
+    is ``None`` when this process should run (or claim) every shard
+    itself, or a fixed shard index in ``[0, shards)``.
+    """
+    env_shards, env_shard_id = default_shards()
+    if shards is None:
+        shards = env_shards
+        if shard_id is None:
+            shard_id = env_shard_id
+    shards = max(1, int(shards))
+    if shard_id is not None and not 0 <= shard_id < shards:
+        raise ValueError(
+            f"shard_id must be in [0, {shards}), got {shard_id}"
+        )
+    return shards, shard_id
 
 
 # -- ambient ground-cache-key context -------------------------------------
@@ -856,6 +979,7 @@ __all__ = [
     "clear_symmetry_memos",
     "count_orbits",
     "decanonicalize",
+    "default_shards",
     "default_symmetry",
     "ground_canonical_form",
     "ground_keys_active",
@@ -865,7 +989,11 @@ __all__ = [
     "orbit_reduce",
     "orbit_transport",
     "plan_sweep",
+    "resolve_shards",
     "resolve_symmetry",
+    "set_symmetry_memo_limit",
+    "shard_of_facts",
+    "shard_of_instance",
     "SweepPlan",
     "use_ground_keys",
 ]

@@ -48,14 +48,49 @@ class TestMemoCache:
         cache = MemoCache("t-resize", maxsize=8)
         for i in range(8):
             cache.put(i, i)
-        before = cache.maxsize
         resize_caches(2)
         try:
             assert cache.maxsize == 2
             assert cache.stats().size == 2
             assert cache.get(7) == (True, 7)  # newest entries survive
         finally:
-            resize_caches(before)
+            resize_caches(None)
+
+    def test_resize_none_restores_construction_defaults(self):
+        cache = MemoCache("t-resize-none", maxsize=8)
+        resize_caches(3)
+        try:
+            assert cache.maxsize == 3
+        finally:
+            resize_caches(None)
+        assert cache.maxsize == 8
+
+    def test_configured_size_applies_to_later_caches(self):
+        # The --cache-size knob must bind caches constructed *after*
+        # resize_caches ran (the CLI parses flags before most caches
+        # are touched, but kernel memos and test caches come later).
+        resize_caches(5)
+        try:
+            late = MemoCache("t-late", maxsize=1000)
+            assert late.maxsize == 5
+            for i in range(10):
+                late.put(i, i)
+            assert late.stats().size == 5
+        finally:
+            resize_caches(None)
+        assert late.maxsize == 1000
+
+    def test_resize_pushes_symmetry_memo_limit(self):
+        import repro.engine.symmetry as symmetry
+
+        resize_caches(7)
+        try:
+            assert symmetry._FORM_MEMO_MAX == 7
+            assert symmetry._PAIR_MEMO_MAX == 7
+        finally:
+            resize_caches(None)
+        assert symmetry._FORM_MEMO_MAX == symmetry._FORM_MEMO_DEFAULT
+        assert symmetry._PAIR_MEMO_MAX == symmetry._PAIR_MEMO_DEFAULT
 
 
 class TestCanonicalization:
@@ -131,6 +166,38 @@ class TestCachedChaseResult:
         # is renamed so the two stay distinct
         assert Null("fresh") in result.active_domain()
         assert len(result.nulls()) == 2
+
+    def test_fresh_nulls_dodge_caller_null_and_variable_names(self):
+        # The cached chase invented Null("fresh"); the caller's
+        # instance uses BOTH the null name "fresh" and the variable
+        # name "N0" (the first name _translate_back would otherwise
+        # reach for).  The renaming must skip both.
+        mapping = decomposition()
+
+        def compute(instance):
+            return instance.union(
+                Instance.build({"P": [(Null("fresh"), "x", "y")]})
+            )
+
+        seed = Instance.build({"P": [(Null("a"), "s", Variable("v"))]})
+        direct = cached_chase_result(mapping, seed, compute)  # populate
+        clashing = Instance.build(
+            {"P": [(Null("fresh"), "s", Variable("N0"))]}
+        )
+        result = cached_chase_result(mapping, clashing, compute)
+        domain = result.active_domain()
+        # the caller's own terms survive untouched
+        assert Null("fresh") in domain
+        assert Variable("N0") in domain
+        # the chase-invented null was renamed past BOTH taken names
+        assert Null("N1") in domain
+        assert Null("N0") not in domain
+        assert len(result.nulls()) == 2
+        # and the translation is isomorphic to the seeded computation
+        # (a genuine chase on `clashing` would also invent a null
+        # distinct from the caller's "fresh" — which is the collision
+        # the renaming exists to preserve)
+        assert canonical_key(result) == canonical_key(direct)
 
     def test_distinct_mappings_do_not_share_entries(self):
         from repro.catalog import projection

@@ -1,0 +1,486 @@
+"""Tests for the on-disk verdict store, sweep sharding, and the
+checkpoint journal's integrity fixes (fingerprints, flush cleanup,
+shard leases)."""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.catalog import all_catalog_mappings, decomposition, projection
+from repro.datamodel.instances import Instance
+from repro.datamodel.terms import Null
+from repro.engine import (
+    ENGINE_VERSION,
+    VerdictStore,
+    cached_chase_result,
+    canonical_key,
+    reset_all_caches,
+    shard_of_instance,
+    stable_digest,
+    use_store,
+)
+from repro.engine.cache import active_store, verdict_cache
+from repro.engine.checkpoint import (
+    CheckpointJournal,
+    claim_shards,
+    dropped_flush_count,
+    reset_dropped_flush_count,
+    shard_entry_key,
+)
+from repro.engine.symmetry import plan_sweep
+from repro.core.framework import (
+    SolutionEquivalence,
+    subset_property,
+    unique_solutions_property,
+)
+from repro.workloads import power_instances
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    reset_all_caches()
+    yield
+    reset_all_caches()
+
+
+def _projection_setup():
+    mapping = projection()
+    universe = list(
+        power_instances(mapping.source, domain=("a", "b"), max_facts=2)
+    )
+    return mapping, SolutionEquivalence(mapping), universe
+
+
+class TestStableDigest:
+    def test_equal_keys_digest_equally(self):
+        left = Instance.build({"P": [("a", Null("n"))]})
+        right = Instance.build({"P": [("a", Null("n"))]})
+        key = ("verdict", canonical_key(left))
+        assert stable_digest(key) == stable_digest(
+            ("verdict", canonical_key(right))
+        )
+
+    def test_distinct_keys_diverge(self):
+        assert stable_digest(("a", 1)) != stable_digest(("a", "1"))
+        assert stable_digest(("a",)) != stable_digest(("a", None))
+
+
+class TestVerdictStore:
+    def test_round_trip_chase_and_verdict(self, tmp_path):
+        store = VerdictStore(tmp_path / "s.sqlite")
+        instance = Instance.build({"P": [("a", Null("n"), "c")]})
+        store.save("chase", ("k1",), instance)
+        store.save("verdict", ("k2",), True)
+        store.flush()
+        hit, value = store.load("chase", ("k1",))
+        assert hit and value == instance
+        hit, value = store.load("verdict", ("k2",))
+        assert hit and value is True
+        hit, _ = store.load("verdict", ("absent",))
+        assert not hit
+
+    def test_unknown_caches_do_not_persist(self, tmp_path):
+        store = VerdictStore(tmp_path / "s.sqlite")
+        assert store.persists("chase") and store.persists("verdict")
+        assert not store.persists("kinstance")
+        store.save("kinstance", ("k",), object())
+        store.flush()
+        assert store.entry_count() == 0
+
+    def test_entries_survive_reopen(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        first = VerdictStore(path)
+        first.save("verdict", ("k",), False)
+        first.close()
+        second = VerdictStore(path)
+        hit, value = second.load("verdict", ("k",))
+        assert hit and value is False
+
+    def test_engine_version_mismatch_drops_entries(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        old = VerdictStore(path, engine_version="ancient")
+        old.save("verdict", ("k",), True)
+        old.close()
+        current = VerdictStore(path)  # ENGINE_VERSION
+        hit, _ = current.load("verdict", ("k",))
+        assert not hit
+        # and the store is restamped: reopening with the current
+        # version keeps newly written entries
+        current.save("verdict", ("k2",), True)
+        current.close()
+        again = VerdictStore(path)
+        assert again.load("verdict", ("k2",)) == (True, True)
+        assert again.engine_version == ENGINE_VERSION
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "s.sqlite"
+        store = VerdictStore(path)
+        store.save("chase", ("k",), Instance.build({"P": [("a",)]}))
+        store.close()
+        connection = sqlite3.connect(path)
+        with connection:
+            connection.execute("UPDATE entries SET value = 'not json'")
+        connection.close()
+        reopened = VerdictStore(path)
+        hit, _ = reopened.load("chase", ("k",))
+        assert not hit
+
+    def test_unusable_path_is_counted_not_raised(self, tmp_path):
+        store = VerdictStore(tmp_path / "no" / "such" / "dir" / "s.sqlite")
+        store.save("verdict", ("k",), True)
+        store.flush()
+        hit, _ = store.load("verdict", ("other",))
+        assert not hit
+        assert store.stats().write_errors > 0
+
+
+class TestStoreBackedCaches:
+    def test_memory_miss_falls_through_and_promotes(self, tmp_path):
+        with use_store(tmp_path / "s.sqlite") as store:
+            verdict_cache.put(("k",), True)
+            store.flush()
+            verdict_cache.clear()
+            hit, value = verdict_cache.get(("k",))
+            assert hit and value is True
+            assert store.hits == 1
+            # promoted: the next get is a pure memory hit
+            hit, _ = verdict_cache.get(("k",))
+            assert hit and store.hits == 1
+
+    def test_store_hit_matches_direct_computation(self, tmp_path):
+        # A chase result served from disk must be an instance the
+        # object backend could have produced directly: phrased in the
+        # caller's terms, isomorphic to the direct computation.
+        mapping = decomposition()
+
+        def compute(instance):
+            return instance.union(
+                Instance.build({"P": [(Null("fresh"), "x", "y")]})
+            )
+
+        seed = Instance.build({"P": [(Null("a"), "s", "t")]})
+        direct = compute(seed)
+        with use_store(tmp_path / "s.sqlite") as store:
+            first = cached_chase_result(mapping, seed, compute)
+            store.flush()
+            reset_all_caches()  # drop memory; disk survives
+            calls = []
+            result = cached_chase_result(
+                mapping,
+                Instance.build({"P": [(Null("b"), "s", "t")]}),
+                lambda instance: calls.append(1) or compute(instance),
+            )
+            assert calls == []  # served from the store, not recomputed
+            assert Null("b") in result.active_domain()
+            assert canonical_key(result) == canonical_key(direct)
+            assert canonical_key(result) == canonical_key(first)
+
+    def test_use_store_restores_previous(self, tmp_path):
+        assert active_store() is None
+        with use_store(tmp_path / "s.sqlite"):
+            assert active_store() is not None
+            with use_store(None):
+                assert active_store() is None
+            assert active_store() is not None
+        assert active_store() is None
+
+    def test_checker_reports_identical_with_and_without_store(self, tmp_path):
+        mapping, equivalence, universe = _projection_setup()
+        baseline = subset_property(
+            mapping, equivalence, equivalence, universe,
+            stop_at_first_violation=False,
+        )
+        reset_all_caches()
+        with use_store(tmp_path / "s.sqlite") as store:
+            cold = subset_property(
+                mapping, equivalence, equivalence, universe,
+                stop_at_first_violation=False,
+            )
+            store.flush()
+        reset_all_caches()
+        with use_store(tmp_path / "s.sqlite") as store:
+            warm = subset_property(
+                mapping, equivalence, equivalence, universe,
+                stop_at_first_violation=False,
+            )
+            assert store.hits > 0  # the warm run really used the disk
+        assert cold == baseline
+        assert warm == baseline
+
+
+class TestSharding:
+    def test_shards_partition_every_universe(self):
+        mapping, _, universe = _projection_setup()
+        for shards in (2, 3, 4):
+            owners = [shard_of_instance(inst, shards) for inst in universe]
+            assert all(0 <= owner < shards for owner in owners)
+            plan = plan_sweep("full", universe, mappings=(mapping,))
+            kept = [
+                inst
+                for shard in range(shards)
+                for inst in plan.shard(shards, shard).outer
+            ]
+            assert sorted(map(repr, kept)) == sorted(map(repr, plan.outer))
+
+    def test_shard_assignment_is_orbit_invariant(self):
+        # every member of an orbit lands on its representative's shard
+        left = Instance.build({"P": [("a", "b", "c")]})
+        renamed = Instance.build({"P": [("b", "a", "c")]})
+        for shards in (2, 5):
+            assert shard_of_instance(left, shards) == shard_of_instance(
+                renamed, shards
+            )
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_sharded_subset_reports_merge_byte_identically(self, shards):
+        mapping, equivalence, universe = _projection_setup()
+        serial = subset_property(
+            mapping, equivalence, equivalence, universe,
+            stop_at_first_violation=False, shards=1,
+        )
+        merged = subset_property(
+            mapping, equivalence, equivalence, universe,
+            stop_at_first_violation=False, shards=shards,
+        )
+        assert merged == serial
+
+    def test_sharded_subset_orbit_mode_matches_serial(self):
+        mapping, equivalence, universe = _projection_setup()
+        serial = subset_property(
+            mapping, equivalence, equivalence, universe,
+            stop_at_first_violation=False, symmetry="orbits",
+        )
+        merged = subset_property(
+            mapping, equivalence, equivalence, universe,
+            stop_at_first_violation=False, symmetry="orbits", shards=3,
+        )
+        assert merged == serial
+
+    def test_single_shard_reports_cover_disjoint_slices(self):
+        mapping, equivalence, universe = _projection_setup()
+        serial = subset_property(
+            mapping, equivalence, equivalence, universe,
+            stop_at_first_violation=False,
+        )
+        slices = [
+            subset_property(
+                mapping, equivalence, equivalence, universe,
+                stop_at_first_violation=False, shards=2, shard_id=which,
+            )
+            for which in (0, 1)
+        ]
+        assert sum(part.checked for part in slices) == serial.checked
+        assert (
+            sum(part.instances_checked for part in slices)
+            == serial.instances_checked
+        )
+
+    def test_sharded_unique_solutions_matches_serial(self):
+        mapping = decomposition()
+        universe = list(
+            power_instances(mapping.source, domain=("a", "b"), max_facts=2)
+        )
+        serial = unique_solutions_property(mapping, universe)
+        merged = unique_solutions_property(mapping, universe, shards=3)
+        assert tuple(serial) == tuple(merged)
+        assert serial.instances_checked == merged.instances_checked
+
+    def test_sharded_sweep_finds_the_same_violations(self):
+        # a mapping known to violate unique solutions keeps its
+        # violation list (same pairs, same order) under sharding
+        by_name = {m.name: m for m in all_catalog_mappings()}
+        mapping = by_name["Example4.5"]
+        universe = list(
+            power_instances(mapping.source, domain=("a", "b"), max_facts=2)
+        )
+        serial = unique_solutions_property(mapping, universe)
+        merged = unique_solutions_property(mapping, universe, shards=2)
+        assert serial.violators == merged.violators
+
+
+class TestJournalFingerprint:
+    def test_resume_requires_matching_fingerprint(self, tmp_path):
+        path = str(tmp_path / "j.json")
+        journal = CheckpointJournal(path)
+        journal.record(
+            "key", verified_upto=4, total=9, ok=True, violations=0,
+            fingerprint="deadbeef", flush=True,
+        )
+        reloaded = CheckpointJournal(path)
+        assert reloaded.resume_index("key", 9, "deadbeef") == 4
+        assert reloaded.resume_index("key", 9, "different") == 0
+        assert reloaded.resume_index("key", 8, "deadbeef") == 0
+
+    def test_unfingerprinted_legacy_entry_never_matches(self, tmp_path):
+        path = str(tmp_path / "j.json")
+        journal = CheckpointJournal(path)
+        journal.record(
+            "key", verified_upto=4, total=9, ok=True, violations=0, flush=True
+        )
+        reloaded = CheckpointJournal(path)
+        assert reloaded.resume_index("key", 9, "deadbeef") == 0
+        assert reloaded.resume_index("key", 9) == 4  # legacy callers
+
+    def test_stale_checkpoint_from_other_sweep_is_discarded(self, tmp_path):
+        # The acceptance scenario: a journal recorded for mapping A is
+        # offered to a sweep of mapping B whose universe happens to
+        # have the same length.  The checker must restart, not resume.
+        mapping_a, equivalence_a, universe = _projection_setup()
+        journal = CheckpointJournal(str(tmp_path / "j.json"))
+        report_a = subset_property(
+            mapping_a, equivalence_a, equivalence_a, universe,
+            stop_at_first_violation=False, checkpoint=journal,
+        )
+        assert report_a.holds
+        # same name, same universe length, different constraints
+        mapping_b = decomposition()
+        mapping_b = type(mapping_b)(
+            name=mapping_a.name,
+            source=mapping_b.source,
+            target=mapping_b.target,
+            dependencies=mapping_b.dependencies,
+        )
+        universe_b = list(
+            power_instances(mapping_b.source, domain=("a", "b"), max_facts=2)
+        )[: len(universe)]
+        equivalence_b = SolutionEquivalence(mapping_b)
+        resumed = CheckpointJournal(str(tmp_path / "j.json"))
+        report_b = subset_property(
+            mapping_b, equivalence_b, equivalence_b, universe_b,
+            stop_at_first_violation=False, checkpoint=resumed,
+        )
+        # a resumed-from-stale sweep would have skipped instances and
+        # checked fewer pairs; the fingerprint forces the full sweep
+        fresh = subset_property(
+            mapping_b, equivalence_b, equivalence_b, universe_b,
+            stop_at_first_violation=False,
+        )
+        assert report_b == fresh
+
+    def test_checker_resumes_its_own_journal(self, tmp_path):
+        mapping, equivalence, universe = _projection_setup()
+        journal = CheckpointJournal(str(tmp_path / "j.json"))
+        first = subset_property(
+            mapping, equivalence, equivalence, universe,
+            stop_at_first_violation=False, checkpoint=journal,
+        )
+        resumed_journal = CheckpointJournal(str(tmp_path / "j.json"))
+        key = next(iter(resumed_journal._state))
+        entry = resumed_journal._state[key]
+        assert entry["complete"] and entry["fingerprint"]
+        # a genuine re-run resumes past the completed sweep: the
+        # report's local counters cover only post-resume work (zero)
+        rerun = subset_property(
+            mapping, equivalence, equivalence, universe,
+            stop_at_first_violation=False, checkpoint=resumed_journal,
+        )
+        assert rerun.holds == first.holds
+        assert rerun.checked == 0
+
+
+class TestJournalFlush:
+    def test_failed_flush_counts_and_cleans_temp(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "j.json"), resume=False)
+        journal.record(
+            "k", verified_upto=1, total=2, ok=True, violations=0, flush=True
+        )
+        reset_dropped_flush_count()
+        # make os.replace fail: the journal path becomes a directory
+        os.unlink(tmp_path / "j.json")
+        os.mkdir(tmp_path / "j.json")
+        journal.record(
+            "k", verified_upto=2, total=2, ok=True, violations=0, flush=True
+        )
+        assert dropped_flush_count() == 1
+        assert glob.glob(str(tmp_path / ".repro-ckpt-*")) == []
+        reset_dropped_flush_count()
+
+    def test_engine_stats_surface_dropped_flushes(self, tmp_path):
+        from repro.engine import engine_stats
+
+        journal = CheckpointJournal(
+            str(tmp_path / "missing" / "j.json"), resume=False
+        )
+        reset_dropped_flush_count()
+        journal.flush()
+        counters = engine_stats().counters()
+        assert counters["checkpoint_dropped_flushes"] == 1
+        assert "dropped" in engine_stats().render()
+        reset_dropped_flush_count()
+
+
+class TestShardLeases:
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "j.json"))
+        assert journal.claim_shard("base", 0, 2, owner="alice")
+        assert journal.claim_shard("base", 0, 2, owner="alice")  # re-entrant
+        assert not journal.claim_shard("base", 0, 2, owner="bob")
+        journal.release_shard("base", 0, 2, owner="bob")  # not the owner
+        assert not journal.claim_shard("base", 0, 2, owner="bob")
+        journal.release_shard("base", 0, 2, owner="alice")
+        assert journal.claim_shard("base", 0, 2, owner="bob")
+
+    def test_expired_lease_is_stolen(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "j.json"))
+        assert journal.claim_shard("base", 1, 2, owner="dead", ttl=0.0)
+        assert journal.claim_shard("base", 1, 2, owner="thief")
+
+    def test_claim_shards_runs_everything_without_journal(self):
+        assert list(claim_shards(None, "base", 3, owner="solo")) == [0, 1, 2]
+
+    def test_claim_shards_skips_completed_and_steals_expired(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "j.json"))
+        # shard 0: already complete in the journal
+        journal.complete(
+            shard_entry_key("base", 0, 3),
+            total=5, ok=True, violations=0, fingerprint="fp",
+        )
+        # shard 1: leased by a dead worker whose lease expired
+        assert journal.claim_shard("base", 1, 3, owner="dead", ttl=0.0)
+        ran = []
+        for shard in claim_shards(
+            journal, "base", 3, owner="me", fingerprint="fp"
+        ):
+            ran.append(shard)
+            journal.complete(
+                shard_entry_key("base", shard, 3),
+                total=5, ok=True, violations=0, fingerprint="fp",
+            )
+        assert ran == [1, 2]
+
+    def test_two_workers_split_the_sweep(self, tmp_path):
+        # the coordinator path end-to-end: worker A completes shard 0,
+        # worker B (a fresh journal object on the same file) claims
+        # only what is left and folds A's verdict in
+        mapping, equivalence, universe = _projection_setup()
+        serial = subset_property(
+            mapping, equivalence, equivalence, universe,
+            stop_at_first_violation=False,
+        )
+        path = str(tmp_path / "j.json")
+        shard0 = subset_property(
+            mapping, equivalence, equivalence, universe,
+            stop_at_first_violation=False,
+            checkpoint=CheckpointJournal(path), shards=2, shard_id=0,
+        )
+        merged = subset_property(
+            mapping, equivalence, equivalence, universe,
+            stop_at_first_violation=False,
+            checkpoint=CheckpointJournal(path), shards=2,
+        )
+        assert merged.holds == serial.holds
+        assert shard0.checked + merged.checked == serial.checked
+
+    def test_lease_files_are_json(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "j.json"))
+        assert journal.claim_shard("base", 0, 2, owner="alice", ttl=60.0)
+        lease_files = glob.glob(str(tmp_path / "j.json.lease-*"))
+        assert len(lease_files) == 1
+        with open(lease_files[0], "r", encoding="utf-8") as handle:
+            lease = json.load(handle)
+        assert lease["owner"] == "alice"
+        assert lease["expires"] > 0
