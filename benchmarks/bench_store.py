@@ -86,9 +86,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    # The ambient REPRO_STORE would make default_store() stomp the
-    # stores this gate installs explicitly; neutralize it.
-    os.environ.pop("REPRO_STORE", None)
+    # No REPRO_STORE handling needed: the stores this gate installs
+    # explicitly (including the storeless use_store(None) run) always
+    # win over the environment knob.
 
     mapping = example_5_4()
     equivalence = SolutionEquivalence(mapping)

@@ -70,6 +70,8 @@ from repro.engine.cache import (
     mapping_key,
     reset_all_caches,
     resize_caches,
+    store_installed,
+    uninstall_store,
     verdict_cache,
 )
 from repro.engine.checkpoint import (
@@ -229,7 +231,9 @@ __all__ = [
     "shard_of_facts",
     "shard_of_instance",
     "stable_digest",
+    "store_installed",
     "sweep_key",
+    "uninstall_store",
     "use_backend",
     "use_budget",
     "use_ground_keys",

@@ -102,12 +102,35 @@ def configured_maxsize(fallback: int) -> int:
 # imports the core layers built on these caches).
 _STORE: Optional[Any] = None
 
+# Distinguishes the pristine state (no install_store call yet — the
+# REPRO_STORE environment knob may install a store) from an explicit
+# ``install_store(None)``, which pins the caches store-free and must
+# not be overridden by the environment (use_store(None)'s
+# guaranteed-cold contract).
+_STORE_SET: bool = False
+
 
 def install_store(store: Optional[Any]) -> None:
     """Install (or with ``None`` remove) the ambient on-disk store the
-    memo caches consult as their second level."""
-    global _STORE
+    memo caches consult as their second level.  Either way the choice
+    is *pinned*: ``default_store`` will not override it from the
+    ``REPRO_STORE`` environment knob (see :func:`uninstall_store`)."""
+    global _STORE, _STORE_SET
     _STORE = store
+    _STORE_SET = True
+
+
+def uninstall_store() -> None:
+    """Forget any installed store, returning to the pristine state in
+    which ``REPRO_STORE`` (via ``default_store``) may install one."""
+    global _STORE, _STORE_SET
+    _STORE = None
+    _STORE_SET = False
+
+
+def store_installed() -> bool:
+    """Has a store (possibly an explicit ``None``) been installed?"""
+    return _STORE_SET
 
 
 def active_store() -> Optional[Any]:

@@ -276,13 +276,9 @@ class CheckpointJournal:
                     return True  # re-entrant: we already hold it
                 if lease is not None and lease.get("expires", 0) > time.time():
                     return False  # live lease held by a peer
-                # Expired or unreadable: steal by unlinking and retrying
-                # the exclusive create (a racing peer may win the retry).
-                try:
-                    os.unlink(path)
-                except OSError:
+                if not self._steal_lease(path, owner):
                     return False
-                continue
+                continue  # retry the exclusive create
             except OSError:
                 return False
             try:
@@ -292,6 +288,41 @@ class CheckpointJournal:
             except OSError:
                 return False
         return False
+
+    def _steal_lease(self, path: str, owner: str) -> bool:
+        """Remove an expired lease so the exclusive create can retry.
+
+        A blind ``unlink`` here would be a TOCTOU hole: between reading
+        the expired lease and unlinking it, a peer can complete its own
+        steal and write a fresh live lease, which the unlink would then
+        destroy — two workers end up holding the same shard.  Instead
+        the lease is renamed aside (atomic: exactly one racing stealer
+        wins) and its payload re-checked *after* the rename; a lease
+        that turned live in the window is put back and the steal lost.
+        """
+        aside = f"{path}.steal-{sweep_key(owner)}"
+        try:
+            os.replace(path, aside)
+        except OSError:
+            return False  # a racing stealer won the rename
+        stolen = self._read_lease(aside)
+        if (
+            stolen is not None
+            and stolen.get("owner") != owner
+            and stolen.get("expires", 0) > time.time()
+        ):
+            # The lease changed hands between our read and the rename:
+            # it is live and a peer's.  Restore it and lose the steal.
+            try:
+                os.replace(aside, path)
+            except OSError:
+                pass
+            return False
+        try:
+            os.unlink(aside)
+        except OSError:
+            pass
+        return True
 
     def release_shard(
         self, base_key: str, shard_id: int, shards: int, *, owner: str
@@ -363,34 +394,57 @@ def claim_shards(
     must mark each yielded shard complete in the journal (the sharded
     checkers do, via their per-shard entries) before the loop can
     terminate.
+
+    A shard is yielded to this worker **at most once**.  A shard sweep
+    that trips a budget/deadline or loses a worker records an
+    *incomplete* journal entry and returns a partial report; since the
+    exhausted budget is shared across this worker's shard runs,
+    re-claiming such a shard could never advance it.  Once every
+    outstanding shard has already been tried here, the loop returns
+    instead of spinning, and the caller's merge reports partial
+    coverage for the unfinished shards — exactly like the serial path.
     """
     if journal is None:
         yield from range(shards)
         return
+    yielded: set = set()
     while True:
         journal.reload()
         states = journal.shard_states(base_key, shards, fingerprint=fingerprint)
         if all(state == "complete" for state in states):
             return
         progressed = False
+        stalled = False
         for shard_id, state in enumerate(states):
             if state == "complete":
+                continue
+            if shard_id in yielded:
+                # We already ran this shard and its entry never reached
+                # complete (partial coverage); re-running makes no
+                # progress against the same exhausted budget.
+                stalled = True
                 continue
             if journal.claim_shard(
                 base_key, shard_id, shards, owner=owner, ttl=ttl
             ):
                 progressed = True
+                yielded.add(shard_id)
                 try:
                     yield shard_id
                 finally:
                     journal.release_shard(
                         base_key, shard_id, shards, owner=owner
                     )
-        if not progressed:
-            # Everything unfinished is leased to live peers; wait for
-            # them to finish (their entries complete) or for their
-            # leases to expire (we steal).
-            time.sleep(poll_interval)
+        if progressed:
+            continue
+        if stalled:
+            # Every shard still open is one this worker already tried
+            # and could not finish: return what completed.
+            return
+        # Everything unfinished is leased to live peers; wait for
+        # them to finish (their entries complete) or for their
+        # leases to expire (we steal).
+        time.sleep(poll_interval)
 
 
 # -- the ambient journal --------------------------------------------------

@@ -21,8 +21,8 @@ Layering contract:
   store can keep up with verdict-rate traffic;
 * the store is a **cache, never an authority**: any SQLite error
   (locked database, read-only filesystem, disk full) is swallowed and
-  counted (``store_write_errors`` in ``--engine-stats``), and the
-  sweep proceeds on computation alone;
+  counted per direction (``store_write_errors`` / ``store_read_errors``
+  in ``--engine-stats``), and the sweep proceeds on computation alone;
 * multi-process safety comes from SQLite itself (WAL journal, busy
   timeout, ``INSERT OR REPLACE`` upserts in short transactions) plus a
   fork guard: a connection is never used across a ``fork`` — workers
@@ -41,7 +41,10 @@ and are deliberately not persisted.
 
 The CLI wires this up through ``--store PATH`` / ``REPRO_STORE``;
 checkers install the ambient store via :func:`default_store`, and
-benchmarks use the :func:`use_store` context manager.
+benchmarks use the :func:`use_store` context manager.  Programmatic
+installs always win over the environment: inside ``use_store(path)``
+(or after ``install_store``) the ambient ``REPRO_STORE`` is ignored,
+and ``use_store(None)`` is guaranteed cold even when it is set.
 """
 
 from __future__ import annotations
@@ -54,7 +57,12 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
 
-from repro.engine.cache import active_store, install_store
+from repro.engine.cache import (
+    active_store,
+    install_store,
+    store_installed,
+    uninstall_store,
+)
 
 #: Bump whenever cache key derivation, canonical forms, or value
 #: codecs change semantics: a store written by another engine version
@@ -190,6 +198,7 @@ class StoreStats:
     misses: int
     writes: int
     write_errors: int
+    read_errors: int
     entries: int
 
     def counters(self) -> Dict[str, int]:
@@ -198,6 +207,7 @@ class StoreStats:
             "store_misses": self.misses,
             "store_writes": self.writes,
             "store_write_errors": self.write_errors,
+            "store_read_errors": self.read_errors,
             "store_entries": self.entries,
         }
 
@@ -209,6 +219,7 @@ class StoreStats:
             f"{self.misses:>8} misses  ({rate:>6.1%})  "
             f"{self.writes} writes  {self.entries} entries"
             + (f"  {self.write_errors} write errors" if self.write_errors else "")
+            + (f"  {self.read_errors} read errors" if self.read_errors else "")
         )
 
 
@@ -234,21 +245,31 @@ class VerdictStore:
         self.misses = 0
         self.writes = 0
         self.write_errors = 0
+        self.read_errors = 0
         self._pending: Dict[Tuple[str, str], str] = {}
         self._connection: Optional[sqlite3.Connection] = None
         self._pid = os.getpid()
 
     # -- connection management ----------------------------------------
 
-    def _connect(self) -> Optional[sqlite3.Connection]:
-        """The live connection, reopened after a fork, or ``None``
-        when the store file is unusable (counted, never raised)."""
+    def _fork_guard(self) -> None:
+        """Drop state inherited across a ``fork``: the parent's
+        connection must never be used by the child, and the parent's
+        pending buffer belongs to the parent (which flushes it
+        itself).  Runs at every store entry point — not only when a
+        connection is first needed — so entries the *child* buffers
+        before its first ``_connect`` are never discarded with the
+        inherited ones."""
         if os.getpid() != self._pid:
-            # Forked child: the inherited connection and the parent's
-            # pending buffer belong to the parent.  Reopen fresh.
             self._connection = None
             self._pending = {}
             self._pid = os.getpid()
+
+    def _connect(self) -> Optional[sqlite3.Connection]:
+        """The live connection, reopened after a fork, or ``None``
+        when the store file is unusable (never raised; callers count
+        the failure in the direction they were going)."""
+        self._fork_guard()
         if self._connection is not None:
             return self._connection
         try:
@@ -281,7 +302,6 @@ class VerdictStore:
                         (self.engine_version,),
                     )
         except sqlite3.Error:
-            self.write_errors += 1
             return None
         self._connection = connection
         return connection
@@ -297,11 +317,13 @@ class VerdictStore:
         codec = _CODECS.get(cache_name)
         if codec is None:
             return False, None
+        self._fork_guard()
         digest = stable_digest(key)
         payload = self._pending.get((cache_name, digest))
         if payload is None:
             connection = self._connect()
             if connection is None:
+                self.read_errors += 1
                 return False, None
             try:
                 row = connection.execute(
@@ -309,7 +331,7 @@ class VerdictStore:
                     (cache_name, digest),
                 ).fetchone()
             except sqlite3.Error:
-                self.write_errors += 1
+                self.read_errors += 1
                 return False, None
             payload = row[0] if row is not None else None
         if payload is None:
@@ -329,16 +351,19 @@ class VerdictStore:
         codec = _CODECS.get(cache_name)
         if codec is None:
             return
+        self._fork_guard()
         self._pending[(cache_name, stable_digest(key))] = codec[0](value)
         if len(self._pending) >= self.flush_interval:
             self.flush()
 
     def flush(self) -> None:
         """Write pending entries in one transaction (best effort)."""
+        self._fork_guard()
         if not self._pending:
             return
         connection = self._connect()
         if connection is None:
+            self.write_errors += 1
             # Keep the buffer bounded even when the disk is gone.
             if len(self._pending) >= 4 * self.flush_interval:
                 self._pending.clear()
@@ -388,6 +413,7 @@ class VerdictStore:
             self.misses,
             self.writes,
             self.write_errors,
+            self.read_errors,
             self.entry_count(),
         )
 
@@ -402,13 +428,20 @@ def default_store() -> Optional[VerdictStore]:
     """Install (and return) the store named by ``REPRO_STORE``.
 
     Memoized per path; checkers call this on entry so the environment
-    knob takes effect without explicit plumbing.  Returns the already
-    installed store when one was installed programmatically."""
+    knob takes effect without explicit plumbing.  A store installed
+    programmatically (:func:`use_store` / ``install_store``) always
+    wins over the environment — including an explicit ``None``, whose
+    guaranteed-cold contract an ambient ``REPRO_STORE`` must not
+    silently override."""
     global _DEFAULT, _DEFAULT_PATH
+    if store_installed() and (
+        _DEFAULT is None or active_store() is not _DEFAULT
+    ):
+        return active_store()
     path = os.environ.get("REPRO_STORE")
     if not path:
         if _DEFAULT is not None and active_store() is _DEFAULT:
-            install_store(None)
+            uninstall_store()
         _DEFAULT, _DEFAULT_PATH = None, None
         return active_store()
     if _DEFAULT is None or _DEFAULT_PATH != path:
@@ -426,20 +459,24 @@ def use_store(
     """Install *store* (a :class:`VerdictStore` or a path) as the
     memo caches' second level for the enclosed block; flushes and
     restores the previous store on exit.  ``None`` disables the store
-    for the block (useful for guaranteed-cold benchmark runs)."""
+    for the block — guaranteed cold even under an ambient
+    ``REPRO_STORE``, which programmatic installs always override."""
     opened: Optional[VerdictStore]
     if store is None or isinstance(store, VerdictStore):
         opened = store
     else:
         opened = VerdictStore(store)
-    previous = active_store()
+    previous, previous_set = active_store(), store_installed()
     install_store(opened)
     try:
         yield opened
     finally:
         if opened is not None:
             opened.flush()
-        install_store(previous)
+        if previous_set:
+            install_store(previous)
+        else:
+            uninstall_store()
 
 
 __all__ = [

@@ -3,8 +3,10 @@ checkpoint journal's integrity fixes (fingerprints, flush cleanup,
 shard leases)."""
 
 import glob
+import itertools
 import json
 import os
+import time
 
 import pytest
 
@@ -16,12 +18,14 @@ from repro.engine import (
     VerdictStore,
     cached_chase_result,
     canonical_key,
+    default_store,
     reset_all_caches,
     shard_of_instance,
     stable_digest,
     use_store,
 )
-from repro.engine.cache import active_store, verdict_cache
+from repro.engine.budget import Budget
+from repro.engine.cache import active_store, uninstall_store, verdict_cache
 from repro.engine.checkpoint import (
     CheckpointJournal,
     claim_shards,
@@ -137,6 +141,31 @@ class TestVerdictStore:
         assert not hit
         assert store.stats().write_errors > 0
 
+    def test_read_and_write_errors_counted_separately(self, tmp_path):
+        store = VerdictStore(tmp_path / "no" / "such" / "dir" / "s.sqlite")
+        hit, _ = store.load("verdict", ("k",))
+        assert not hit
+        assert store.read_errors == 1 and store.write_errors == 0
+        store.save("verdict", ("k",), True)
+        store.flush()
+        assert store.write_errors == 1 and store.read_errors == 1
+        counters = store.stats().counters()
+        assert counters["store_read_errors"] == 1
+        assert counters["store_write_errors"] == 1
+
+    def test_fork_guard_protects_entries_buffered_by_the_child(self, tmp_path):
+        store = VerdictStore(tmp_path / "s.sqlite")
+        store.save("verdict", ("parent",), True)  # parent-buffered
+        store._pid -= 1  # simulate a fork: inherited pid differs
+        # the child's first store activity is a save — the inherited
+        # buffer must be dropped *now*, not at the first _connect,
+        # or the child's own entries would be discarded with it
+        store.save("verdict", ("child",), True)
+        store.flush()
+        assert store.load("verdict", ("child",)) == (True, True)
+        hit, _ = store.load("verdict", ("parent",))
+        assert not hit  # the parent flushes its own buffer itself
+
 
 class TestStoreBackedCaches:
     def test_memory_miss_falls_through_and_promotes(self, tmp_path):
@@ -210,6 +239,59 @@ class TestStoreBackedCaches:
             assert store.hits > 0  # the warm run really used the disk
         assert cold == baseline
         assert warm == baseline
+
+
+class TestDefaultStore:
+    """``REPRO_STORE`` never overrides a programmatic install."""
+
+    @pytest.fixture(autouse=True)
+    def _pristine(self, monkeypatch):
+        import repro.engine.store as store_module
+
+        monkeypatch.setattr(store_module, "_DEFAULT", None)
+        monkeypatch.setattr(store_module, "_DEFAULT_PATH", None)
+        uninstall_store()
+        yield
+        uninstall_store()
+
+    def test_env_store_installed_when_nothing_pinned(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env.sqlite"))
+        store = default_store()
+        assert store is not None and active_store() is store
+        assert store.path == str(tmp_path / "env.sqlite")
+
+    def test_no_env_no_install_means_no_store(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert default_store() is None
+        assert active_store() is None
+
+    def test_use_store_none_is_cold_under_ambient_env(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env.sqlite"))
+        with use_store(None):
+            # the guaranteed-cold contract: default_store (called at
+            # every checker entry) must not re-install the env store
+            assert default_store() is None
+            assert active_store() is None
+        # outside the block the environment knob applies again
+        assert default_store() is not None
+
+    def test_programmatic_store_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env.sqlite"))
+        mine = VerdictStore(tmp_path / "mine.sqlite")
+        with use_store(mine):
+            assert default_store() is mine
+            assert active_store() is mine
+
+    def test_env_unset_removes_only_the_env_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env.sqlite"))
+        assert default_store() is not None
+        monkeypatch.delenv("REPRO_STORE")
+        assert default_store() is None
+        assert active_store() is None
 
 
 class TestSharding:
@@ -429,6 +511,35 @@ class TestShardLeases:
         assert journal.claim_shard("base", 1, 2, owner="dead", ttl=0.0)
         assert journal.claim_shard("base", 1, 2, owner="thief")
 
+    def test_steal_lost_when_lease_turns_live_after_read(
+        self, tmp_path, monkeypatch
+    ):
+        # TOCTOU guard: a peer completes its own steal and writes a
+        # fresh live lease between our expiry check and our removal.
+        # The steal must detect this after the atomic rename, restore
+        # the peer's lease, and lose — never destroy a live lease.
+        journal = CheckpointJournal(str(tmp_path / "j.json"))
+        assert journal.claim_shard("base", 0, 2, owner="dead", ttl=0.0)
+        real_read = CheckpointJournal._read_lease
+
+        def raced_read(path):
+            if ".steal-" in path:
+                # what the rename actually captured: the peer's fresh
+                # lease, written after our expiry check
+                return {"owner": "peer", "expires": time.time() + 60.0}
+            return real_read(path)
+
+        monkeypatch.setattr(
+            CheckpointJournal, "_read_lease", staticmethod(raced_read)
+        )
+        assert not journal.claim_shard("base", 0, 2, owner="thief")
+        monkeypatch.setattr(
+            CheckpointJournal, "_read_lease", staticmethod(real_read)
+        )
+        # the (restored) lease file is back in place, not unlinked
+        lease_files = glob.glob(str(tmp_path / "j.json.lease-*"))
+        assert len(lease_files) == 1 and ".steal-" not in lease_files[0]
+
     def test_claim_shards_runs_everything_without_journal(self):
         assert list(claim_shards(None, "base", 3, owner="solo")) == [0, 1, 2]
 
@@ -451,6 +562,69 @@ class TestShardLeases:
                 total=5, ok=True, violations=0, fingerprint="fp",
             )
         assert ran == [1, 2]
+
+    def test_claim_shards_returns_when_shards_cannot_complete(self, tmp_path):
+        # A budget-tripped shard sweep records an *incomplete* journal
+        # entry; since the exhausted budget is shared, re-claiming the
+        # shard can never advance it.  The claim loop must yield each
+        # shard at most once and then return — not spin forever.
+        journal = CheckpointJournal(str(tmp_path / "j.json"))
+        ran = []
+        claims = claim_shards(journal, "base", 2, owner="me", fingerprint="fp")
+        for shard in itertools.islice(claims, 10):
+            ran.append(shard)
+            journal.record(
+                shard_entry_key("base", shard, 2),
+                verified_upto=1, total=5, ok=True, violations=0,
+                fingerprint="fp", flush=True,
+            )
+        assert ran == [0, 1]  # each shard tried exactly once
+
+    def test_claim_shards_still_finishes_mixed_outcomes(self, tmp_path):
+        # one shard completes, one stalls: the loop returns after
+        # trying both, with the completed shard recorded as such
+        journal = CheckpointJournal(str(tmp_path / "j.json"))
+        ran = []
+        claims = claim_shards(journal, "base", 2, owner="me", fingerprint="fp")
+        for shard in itertools.islice(claims, 10):
+            ran.append(shard)
+            if shard == 0:
+                journal.complete(
+                    shard_entry_key("base", shard, 2),
+                    total=5, ok=True, violations=0, fingerprint="fp",
+                )
+            else:
+                journal.record(
+                    shard_entry_key("base", shard, 2),
+                    verified_upto=2, total=5, ok=True, violations=0,
+                    fingerprint="fp", flush=True,
+                )
+        assert ran == [0, 1]
+        assert journal.shard_states("base", 2, fingerprint="fp") == [
+            "complete", "open",
+        ]
+
+    def test_sharded_sweep_with_exhausted_budget_reports_partial(
+        self, tmp_path
+    ):
+        # End-to-end regression: shards>1, no shard_id, a journal, and
+        # a budget that trips almost immediately must terminate with a
+        # partial-coverage report like the serial path — not hang in
+        # the claim loop.
+        from repro.engine.budget import reset_coverage_events
+
+        mapping, equivalence, universe = _projection_setup()
+        try:
+            report = subset_property(
+                mapping, equivalence, equivalence, universe,
+                stop_at_first_violation=False, shards=2, workers=1,
+                checkpoint=CheckpointJournal(str(tmp_path / "j.json")),
+                budget=Budget(max_instances=1),
+            )
+        finally:
+            reset_coverage_events()
+        assert report.coverage == "budget"
+        assert report.instances_checked <= 1
 
     def test_two_workers_split_the_sweep(self, tmp_path):
         # the coordinator path end-to-end: worker A completes shard 0,
