@@ -28,6 +28,7 @@ from repro.core.framework import (
 from repro.core.inverse import has_constant_propagation
 from repro.core.mapping import SchemaMapping
 from repro.engine.budget import COVERAGE_EXHAUSTIVE, Budget, worst_coverage
+from repro.engine.checkpoint import CheckpointJournal
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,7 @@ def invertibility_report(
     backend: Optional[str] = None,
     shards: Optional[int] = None,
     shard_id: Optional[int] = None,
+    checkpoint: Optional[CheckpointJournal] = None,
 ) -> InvertibilityReport:
     """Run every invertibility criterion over *universe*.
 
@@ -111,7 +113,10 @@ def invertibility_report(
     ``REPRO_SHARDS`` / ``REPRO_SHARD_ID``) partition both bounded
     sweeps by content digest; with a fixed *shard_id* the report
     covers that shard alone, merged shard reports reproduce the
-    unsharded run.
+    unsharded run.  *checkpoint* journals the subset-property sweep —
+    the expensive, resumable phase — so an interrupted report picks up
+    where it stopped (the unique-solutions pass is re-run; it is the
+    cheap phase and carries no journal support).
     """
     equivalence = SolutionEquivalence(mapping)
     unique_verdict = unique_solutions_property(
@@ -136,6 +141,7 @@ def invertibility_report(
         backend=backend,
         shards=shards,
         shard_id=shard_id,
+        checkpoint=checkpoint,
     )
     return InvertibilityReport(
         mapping_name=mapping.name or str(mapping),

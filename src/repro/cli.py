@@ -11,6 +11,9 @@ Usage::
     python -m repro.cli all --deadline 60     # partial verdicts, exit code 3
     python -m repro.cli export Decomposition --format sql
     python -m repro.cli export Example4.5 --format json
+    python -m repro.cli check invertibility Example5.4   # one job, in-process
+    python -m repro.cli check subset Decomposition --max-facts 2 \
+        --server http://127.0.0.1:8642   # same job via a running daemon
 
 Engine knobs (also settable via the ``REPRO_WORKERS`` environment
 variable): ``--workers`` fans bounded checks across a process pool,
@@ -197,6 +200,79 @@ def _command_export(mapping_name: str, output_format: str) -> int:
         print(f"no SQL rendering: {error}", file=sys.stderr)
         return 2
     return 0
+
+
+def _check_payload(arguments: argparse.Namespace) -> dict:
+    """The job payload a ``check`` invocation describes (the same
+    canonical shape ``python -m repro.service submit`` produces)."""
+    payload: dict = {"kind": arguments.kind}
+    if arguments.kind == "experiment":
+        payload["experiment"] = arguments.target
+        return payload
+    payload["mapping"] = arguments.target
+    if arguments.reverse:
+        payload["reverse"] = arguments.reverse
+    if arguments.domain:
+        payload["domain"] = arguments.domain
+    if arguments.max_facts is not None:
+        payload["max_facts"] = arguments.max_facts
+    for option in (
+        "workers",
+        "symmetry",
+        "backend",
+        "shards",
+        "shard_id",
+        "deadline",
+        "max_instances",
+        "max_chase_steps",
+    ):
+        value = getattr(arguments, option, None)
+        if value is not None:
+            payload[option] = value
+    return payload
+
+
+def _command_check(arguments: argparse.Namespace) -> int:
+    """One mapping-checking job, printed and exited exactly as the
+    service daemon would report it.
+
+    Byte-identity between the two entry points is by construction:
+    with ``--server`` the payload goes to a running daemon and the
+    response's embedded rendering is printed verbatim; without it the
+    same canonical spec runs in-process through
+    :func:`repro.service.jobs.execute_job` — the single place the
+    rendering is produced.
+    """
+    from repro.errors import ServiceError
+
+    payload = _check_payload(arguments)
+    try:
+        if arguments.server:
+            from repro.service.client import ServiceClient
+
+            client = ServiceClient(arguments.server)
+            job = client.submit(payload)
+            _status, job = client.result(job["id"], wait=arguments.wait)
+            outcome = job.get("outcome") or {}
+            print(outcome.get("rendering", f"job {job['id']}: {job['state']}"))
+            code = job.get("exit_code")
+            return int(code) if code is not None else EXIT_PARTIAL
+        from repro.engine.checkpoint import CheckpointJournal
+        from repro.service.jobs import budget_for, execute_job
+        from repro.service.protocol import normalize_job
+
+        spec = normalize_job(payload)
+        checkpoint = None
+        if arguments.checkpoint:
+            checkpoint = CheckpointJournal(
+                arguments.checkpoint, resume=arguments.resume
+            )
+        outcome = execute_job(spec, budget=budget_for(spec), checkpoint=checkpoint)
+        print(outcome.rendering)
+        return outcome.exit_code
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
@@ -395,6 +471,41 @@ def main(argv: List[str] | None = None) -> int:
     )
     _add_engine_options(all_parser)
 
+    check_parser = subparsers.add_parser(
+        "check",
+        help="run one mapping-checking job (the service's job kinds, "
+        "in-process or via --server against a running daemon)",
+    )
+    check_parser.add_argument(
+        "kind",
+        choices=("experiment", "invertibility", "subset", "unique", "roundtrip"),
+    )
+    check_parser.add_argument(
+        "target", help="experiment id (experiment) or catalog mapping name"
+    )
+    check_parser.add_argument(
+        "--reverse", default=None, help="reverse mapping (roundtrip)"
+    )
+    check_parser.add_argument(
+        "--domain", default=None, help="comma-separated constants (default a,b)"
+    )
+    check_parser.add_argument("--max-facts", type=int, default=None)
+    check_parser.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="submit to a running service daemon instead of checking "
+        "in-process; the printed report and exit code are identical",
+    )
+    check_parser.add_argument(
+        "--wait",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="with --server: how long to wait for the terminal report",
+    )
+    _add_engine_options(check_parser)
+
     export_parser = subparsers.add_parser(
         "export", help="export a catalog mapping as SQL or JSON"
     )
@@ -410,6 +521,8 @@ def main(argv: List[str] | None = None) -> int:
         return _command_export(arguments.mapping, arguments.output_format)
     _configure_engine(arguments)
     try:
+        if arguments.command == "check":
+            return _command_check(arguments)
         if arguments.command == "run":
             return _coverage_exit(
                 _command_run(arguments.experiments, arguments.json)

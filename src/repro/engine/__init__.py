@@ -49,6 +49,7 @@ from repro.engine.budget import (
     CoverageEvent,
     SweepVerdict,
     coverage_events,
+    coverage_scope,
     current_budget,
     record_coverage,
     reset_coverage_events,
@@ -187,6 +188,7 @@ __all__ = [
     "configured_maxsize",
     "count_orbits",
     "coverage_events",
+    "coverage_scope",
     "current_budget",
     "decanonicalize",
     "default_backend",

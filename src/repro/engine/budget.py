@@ -35,6 +35,7 @@ regardless of wall-clock time.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -221,6 +222,21 @@ class Budget:
         ):
             self._raise_deadline()
 
+    # -- external interruption ---------------------------------------
+
+    def expire_now(self) -> None:
+        """Force the deadline into the past, from any thread.
+
+        The next :meth:`check` anywhere this budget is consulted raises
+        :class:`~repro.errors.DeadlineExceeded`, so the sweep flushes
+        its checkpoint journal and degrades to a partial verdict — the
+        same path a real deadline takes.  The service daemon uses this
+        to drain in-flight jobs on SIGTERM and to cancel running jobs.
+        """
+        if self.deadline is None:
+            self.deadline = round(self.elapsed(), 3)
+        self.deadline_at = time.monotonic() - 1.0
+
     def __repr__(self) -> str:
         limits = ", ".join(
             f"{name}={value}"
@@ -236,19 +252,31 @@ class Budget:
 
 
 # -- the ambient budget ---------------------------------------------------
+#
+# Both the ambient budget and the coverage-event registry are scoped
+# per *thread*: the service daemon runs concurrent jobs on worker
+# threads, each with its own budget, and one job's partial verdict must
+# not leak into another job's exit code.  Single-threaded callers (the
+# CLI, forked pool workers) see the exact pre-thread-local behaviour.
 
-_CURRENT: Optional[Budget] = None
+
+class _ThreadState(threading.local):
+    def __init__(self) -> None:
+        self.budget: Optional[Budget] = None
+        self.events: List["CoverageEvent"] = []
+
+
+_STATE = _ThreadState()
 
 
 def current_budget() -> Optional[Budget]:
     """The budget installed by the innermost checker (or pool worker)."""
-    return _CURRENT
+    return _STATE.budget
 
 
 def install_budget(budget: Optional[Budget]) -> None:
     """Set the ambient budget unconditionally (pool worker startup)."""
-    global _CURRENT
-    _CURRENT = budget
+    _STATE.budget = budget
 
 
 @contextmanager
@@ -258,16 +286,15 @@ def use_budget(budget: Optional[Budget]) -> Iterator[Optional[Budget]]:
     A ``None`` budget leaves the ambient one untouched, so nested
     checkers inherit their caller's budget by default.
     """
-    global _CURRENT
     if budget is None:
-        yield _CURRENT
+        yield _STATE.budget
         return
-    previous = _CURRENT
-    _CURRENT = budget
+    previous = _STATE.budget
+    _STATE.budget = budget
     try:
         yield budget
     finally:
-        _CURRENT = previous
+        _STATE.budget = previous
 
 
 # -- coverage events (partial-verdict registry) ---------------------------
@@ -291,25 +318,40 @@ class CoverageEvent:
     instances_checked: int = 0
 
 
-_COVERAGE_EVENTS: List[CoverageEvent] = []
-
-
 def record_coverage(
     phase: str, coverage: str, detail: str = "", instances_checked: int = 0
 ) -> None:
     """Register a partial verdict (no-op for exhaustive coverage)."""
     if coverage != COVERAGE_EXHAUSTIVE:
-        _COVERAGE_EVENTS.append(
+        _STATE.events.append(
             CoverageEvent(phase, coverage, detail, instances_checked)
         )
 
 
 def coverage_events() -> Tuple[CoverageEvent, ...]:
-    return tuple(_COVERAGE_EVENTS)
+    """This thread's coverage events, in recording order."""
+    return tuple(_STATE.events)
 
 
 def reset_coverage_events() -> None:
-    _COVERAGE_EVENTS.clear()
+    _STATE.events.clear()
+
+
+@contextmanager
+def coverage_scope() -> Iterator[List[CoverageEvent]]:
+    """Collect the enclosed block's coverage events in isolation.
+
+    Yields the live list the block appends into; on exit the previous
+    registry is restored, so concurrent jobs on different threads (and
+    nested scopes on the same thread) never see each other's partial
+    verdicts.
+    """
+    previous = _STATE.events
+    _STATE.events = []
+    try:
+        yield _STATE.events
+    finally:
+        _STATE.events = previous
 
 
 # -- tuple-compatible sweep verdicts --------------------------------------
@@ -404,6 +446,7 @@ __all__ = [
     "CoverageEvent",
     "SweepVerdict",
     "coverage_events",
+    "coverage_scope",
     "current_budget",
     "install_budget",
     "record_coverage",

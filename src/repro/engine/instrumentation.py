@@ -38,6 +38,7 @@ class EngineStats:
     phases: Dict[str, PhaseStats] = field(default_factory=dict)
     instances_processed: int = 0
     worker_faults: int = 0
+    named: Dict[str, int] = field(default_factory=dict)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -56,6 +57,15 @@ class EngineStats:
         """A pool worker died or timed out and recovery kicked in."""
         self.worker_faults += n
 
+    def bump(self, name: str, n: int = 1) -> None:
+        """Increment an ad-hoc named counter (e.g. the service layer's
+        ``service_dedup_hits``); surfaced by :meth:`counters` and
+        :meth:`render` alongside the built-in ones."""
+        self.named[name] = self.named.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        return self.named.get(name, 0)
+
     def instances_per_second(self, phase: str) -> float:
         stats = self.phases.get(phase)
         if stats is None or stats.seconds == 0:
@@ -66,6 +76,7 @@ class EngineStats:
         self.phases.clear()
         self.instances_processed = 0
         self.worker_faults = 0
+        self.named.clear()
 
     def snapshot(self) -> Dict[str, Tuple[int, float]]:
         """``{phase: (calls, seconds)}`` for machine-readable reports."""
@@ -89,6 +100,8 @@ class EngineStats:
             counters[f"{name}_seconds"] = stats.seconds
         counters["instances_processed"] = self.instances_processed
         counters["worker_faults"] = self.worker_faults
+        for name, value in sorted(self.named.items()):
+            counters[name] = value
         for cache_stats in all_cache_stats():
             counters.update(cache_stats.counters())
         store = active_store()
@@ -112,6 +125,8 @@ class EngineStats:
             lines.append(f"  instances processed      {self.instances_processed:>8}")
         if self.worker_faults:
             lines.append(f"  worker faults recovered  {self.worker_faults:>8}")
+        for name, value in sorted(self.named.items()):
+            lines.append(f"  {name:<24} {value:>8}")
         for cache_stats in all_cache_stats():
             lines.append(f"  {cache_stats.render()}")
         store = active_store()

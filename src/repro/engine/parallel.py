@@ -48,6 +48,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import threading
 import time
 import warnings
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
@@ -61,9 +62,31 @@ from repro.errors import WorkerFault
 Item = TypeVar("Item")
 Result = TypeVar("Result")
 
-_SHARED: Any = None
-_IN_WORKER = False
-_TASK: Optional[Callable[[Any], Any]] = None
+
+class _RunnerState(threading.local):
+    """Per-thread dispatch state.
+
+    Thread-scoped (not process-global) because the service daemon runs
+    concurrent jobs on worker threads: each job's fan-out publishes its
+    own shared context, and pool tasks always execute on the thread
+    that installed theirs (the pool worker's main thread, after
+    :func:`_worker_init`), so nothing is ever read across threads.
+    """
+
+    def __init__(self) -> None:
+        self.shared: Any = None
+        self.in_worker = False
+        self.task: Optional[Callable[[Any], Any]] = None
+
+
+_STATE = _RunnerState()
+
+# Forking from a multi-threaded daemon while another thread is mid-way
+# through creating its own pool is the classic fork/threads hazard;
+# serializing pool construction keeps the supervised fork pool usable
+# from concurrent service jobs.  Held only for the (quick) fork+spawn
+# of the workers, never while chunks run.
+_POOL_CREATE_LOCK = threading.Lock()
 
 _DEFAULT_TASK_TIMEOUT = 300.0
 _POLL_INTERVAL = 0.02
@@ -72,7 +95,7 @@ _POLL_INTERVAL = 0.02
 def get_shared() -> Any:
     """The context published by the current :meth:`map` call (task
     functions running in workers read their big arguments here)."""
-    return _SHARED
+    return _STATE.shared
 
 
 def _worker_init(
@@ -81,10 +104,20 @@ def _worker_init(
     budget: Optional[Budget] = None,
     backend: Optional[str] = None,
 ) -> None:
-    global _SHARED, _IN_WORKER, _TASK
-    _SHARED = shared
-    _IN_WORKER = True
-    _TASK = task
+    # Forked workers inherit the parent's signal dispositions.  A host
+    # that traps SIGTERM (the service daemon's graceful-drain handler)
+    # would make Pool.terminate()'s SIGTERM a no-op in the children and
+    # hang the terminating join forever — reset to the defaults so the
+    # pool can always be torn down, and ignore SIGINT so Ctrl-C is
+    # handled once, by the parent.
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread or exotic platform
+        pass
+    _STATE.shared = shared
+    _STATE.in_worker = True
+    _STATE.task = task
     install_budget(budget)
     # Workers already inherit the ambient backend (fork happens inside
     # the checker's use_backend scope) along with the intern table;
@@ -157,11 +190,12 @@ def _apply_fault_hooks(index: int) -> None:
 
 def _supervised_call(batch: Sequence[Tuple[int, Any]]) -> List[Any]:
     """Pool entry point: run the installed task over one chunk."""
-    assert _TASK is not None
+    task = _STATE.task
+    assert task is not None
     results: List[Any] = []
     for index, item in batch:
         _apply_fault_hooks(index)
-        results.append(_TASK(item))
+        results.append(task(item))
     # Persist this chunk's chase/verdict traffic before the worker is
     # potentially recycled — the store's writes are multi-process safe.
     flush_active_store()
@@ -198,7 +232,7 @@ class ParallelUniverseRunner:
 
     @property
     def parallel(self) -> bool:
-        return self.workers > 1 and fork_available() and not _IN_WORKER
+        return self.workers > 1 and fork_available() and not _STATE.in_worker
 
     def map(
         self,
@@ -237,12 +271,11 @@ class ParallelUniverseRunner:
         between results; workers inherit it through the pool
         initializer so chase-step caps apply inside tasks too.
         """
-        global _SHARED
         stats = engine_stats()
         if budget is None:
             budget = current_budget()
-        previous = _SHARED
-        _SHARED = shared
+        previous = _STATE.shared
+        _STATE.shared = shared
         count = 0
         try:
             if not self.parallel:
@@ -265,7 +298,7 @@ class ParallelUniverseRunner:
                     yield result
                     count += 1
         finally:
-            _SHARED = previous
+            _STATE.shared = previous
             stats.count_instances(count)
             flush_active_store()
 
@@ -287,11 +320,12 @@ class ParallelUniverseRunner:
             for start in range(0, len(indexed), chunk)
         ]
         context = multiprocessing.get_context("fork")
-        pool = context.Pool(
-            processes=self.workers,
-            initializer=_worker_init,
-            initargs=(shared, task, budget, active_backend()),
-        )
+        with _POOL_CREATE_LOCK:
+            pool = context.Pool(
+                processes=self.workers,
+                initializer=_worker_init,
+                initargs=(shared, task, budget, active_backend()),
+            )
         pool_alive = True
         condemned = False
         try:

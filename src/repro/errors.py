@@ -111,6 +111,29 @@ class CompositionBudgetError(BudgetExceeded):
     many candidate intermediate instances."""
 
 
+class ServiceError(ReproError, RuntimeError):
+    """Root of the checking-service taxonomy (daemon, queue, client)."""
+
+
+class ServiceProtocolError(ServiceError, ValueError):
+    """A malformed job payload or request (the daemon answers HTTP 400).
+
+    Raised at *submit* time — unknown job kinds, unparsable inline
+    mappings (wrapping the underlying :class:`ParseError`), missing
+    catalog names, bad option types — so invalid work is rejected
+    before it ever reaches the queue.
+    """
+
+
+class JobNotFound(ServiceError, KeyError):
+    """No job with the requested id (the daemon answers HTTP 404)."""
+
+
+class ServiceUnavailable(ServiceError, ConnectionError):
+    """The daemon could not be reached (connection refused, timeout,
+    or no endpoint file in the state directory)."""
+
+
 #: Budget kinds raised by the governance layer (:mod:`repro.engine.budget`).
 #: Only these are degraded into partial verdicts by the checkers;
 #: algorithm-parameter budgets (``max_nulls``, MinGen candidate caps)
@@ -153,10 +176,14 @@ __all__ = [
     "CompositionBudgetError",
     "DeadlineExceeded",
     "GOVERNED_KINDS",
+    "JobNotFound",
     "MappingError",
     "MinGenBudgetError",
     "ParseError",
     "ReproError",
+    "ServiceError",
+    "ServiceProtocolError",
+    "ServiceUnavailable",
     "UniverseTooLarge",
     "WorkerFault",
     "coverage_of",

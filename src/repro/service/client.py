@@ -1,0 +1,184 @@
+"""The blocking thin client (urllib; used by CLI verbs and tests).
+
+Endpoint discovery, in priority order: an explicit ``--server`` URL,
+the ``REPRO_SERVICE_URL`` environment knob, then the ``service.json``
+endpoint file a running daemon writes into its state directory
+(``--state-dir`` / ``REPRO_SERVICE_STATE``, default
+``.repro-service``).  Connection failures raise
+:class:`~repro.errors.ServiceUnavailable` so callers can distinguish
+"daemon down" from job-level failures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.errors import JobNotFound, ServiceProtocolError, ServiceUnavailable
+
+DEFAULT_STATE_DIR = ".repro-service"
+
+
+def state_dir(explicit: Optional[str] = None) -> str:
+    return explicit or os.environ.get("REPRO_SERVICE_STATE") or DEFAULT_STATE_DIR
+
+
+def discover_endpoint(
+    server: Optional[str] = None, state: Optional[str] = None
+) -> str:
+    """The daemon base URL per the discovery order above."""
+    if server:
+        return server.rstrip("/")
+    env = os.environ.get("REPRO_SERVICE_URL")
+    if env:
+        return env.rstrip("/")
+    endpoint_file = os.path.join(state_dir(state), "service.json")
+    try:
+        with open(endpoint_file, "r", encoding="utf-8") as handle:
+            endpoint = json.load(handle)
+        return f"http://{endpoint['host']}:{endpoint['port']}"
+    except (OSError, ValueError, KeyError) as error:
+        raise ServiceUnavailable(
+            f"no --server / REPRO_SERVICE_URL and no readable endpoint "
+            f"file at {endpoint_file!r} ({error}); is the daemon running?"
+        ) from error
+
+
+class ServiceClient:
+    """Synchronous JSON-over-HTTP client for one daemon endpoint."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Any]:
+        """One request; returns ``(http_status, decoded_json)``.
+        Non-2xx statuses are returned, not raised — the service uses
+        them to carry job states (422/206/424/410)."""
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                return response.status, _decode(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, _decode(error.read())
+        except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
+            raise ServiceUnavailable(
+                f"cannot reach service at {self.base_url}: {error}"
+            ) from error
+
+    # -- the protocol surface ----------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._expect(200, *self.request("GET", "/healthz"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self._expect(200, *self.request("GET", "/stats"))
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        status, body = self.request("POST", "/jobs", payload)
+        if status == 400:
+            raise ServiceProtocolError(_error_of(body))
+        return self._expect(202, status, body)
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._expect(200, *self.request("GET", "/jobs"))
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        status, body = self.request("GET", f"/jobs/{job_id}")
+        if status == 404:
+            raise JobNotFound(_error_of(body))
+        return self._expect(200, status, body)
+
+    def result(
+        self, job_id: str, *, wait: float = 0.0, poll: float = 0.5
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``(http_status, job_json)`` of ``/result``; with *wait* > 0
+        polls (server-side long poll + client retry) until the job is
+        terminal or the wait budget runs out."""
+        deadline = time.monotonic() + wait
+        while True:
+            remaining = max(0.0, deadline - time.monotonic())
+            status, body = self.request(
+                "GET",
+                f"/jobs/{job_id}/result?wait={min(remaining, 30.0):.1f}",
+                timeout=min(remaining, 30.0) + self.timeout,
+            )
+            if status == 404:
+                raise JobNotFound(_error_of(body))
+            if status != 202 or remaining <= 0:
+                return status, body
+            time.sleep(min(poll, max(remaining, 0.01)))
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        status, body = self.request("POST", f"/jobs/{job_id}/cancel")
+        if status == 404:
+            raise JobNotFound(_error_of(body))
+        return self._expect(200, status, body)
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._expect(200, *self.request("POST", "/shutdown"))
+
+    def events(self, job_id: str, *, timeout: float = 300.0) -> Iterator[dict]:
+        """Stream a job's NDJSON events until the terminal marker."""
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/events",
+            headers={"Accept": "application/x-ndjson"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                for raw in response:
+                    line = raw.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+        except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
+            raise ServiceUnavailable(
+                f"event stream from {self.base_url} failed: {error}"
+            ) from error
+
+    @staticmethod
+    def _expect(expected: int, status: int, body: Any) -> Any:
+        if status != expected:
+            raise ServiceUnavailable(
+                f"unexpected HTTP {status} (wanted {expected}): {_error_of(body)}"
+            )
+        return body
+
+
+def _decode(raw: bytes) -> Any:
+    if not raw:
+        return None
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return {"error": raw.decode("utf-8", "replace")}
+
+
+def _error_of(body: Any) -> str:
+    if isinstance(body, dict) and "error" in body:
+        return str(body["error"])
+    return str(body)
+
+
+__all__ = ["DEFAULT_STATE_DIR", "ServiceClient", "discover_endpoint", "state_dir"]

@@ -1,0 +1,350 @@
+"""Synchronous job execution, shared by the daemon and the CLI.
+
+The service's byte-identity guarantee — a job response embeds exactly
+the report body ``python -m repro.cli check`` prints — is not enforced
+by comparing strings but by construction: both entry points call
+:func:`execute_job` on the same canonical spec, and the rendering is
+produced here, once.
+
+:func:`execute_job` runs inside a :func:`~repro.engine.budget.coverage_scope`
+so concurrent jobs on daemon worker threads keep their partial-verdict
+events (and hence their terminal states) separate, and maps the result
+onto the job state machine with the CLI's exact semantics: a violation
+beats degraded coverage (a violation found under a budget is still a
+violation), otherwise ``faulted`` > ``deadline``/``budget`` >
+``exhaustive`` selects faulted / partial / done.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.engine.budget import (
+    COVERAGE_EXHAUSTIVE,
+    Budget,
+    coverage_scope,
+    use_budget,
+    worst_coverage,
+)
+from repro.engine.checkpoint import CheckpointJournal
+from repro.errors import ReproError, ServiceProtocolError
+from repro.service.protocol import (
+    STATE_DONE,
+    STATE_FAULTED,
+    STATE_PARTIAL,
+    STATE_VIOLATED,
+    exit_code_for,
+    resolve_mapping,
+)
+
+
+@dataclass
+class JobOutcome:
+    """What one executed job produced (terminal state + report body)."""
+
+    state: str
+    exit_code: int
+    rendering: str
+    coverage: str = COVERAGE_EXHAUSTIVE
+    coverage_events: List[Dict[str, Any]] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "exit_code": self.exit_code,
+            "rendering": self.rendering,
+            "coverage": self.coverage,
+            "coverage_events": self.coverage_events,
+            "seconds": round(self.seconds, 3),
+        }
+
+
+def budget_for(
+    spec: Dict[str, Any], default_deadline: Optional[float] = None
+) -> Optional[Budget]:
+    """The per-job budget a canonical spec asks for, or None when the
+    spec carries no limit (callers then inherit ambient/env budgets)."""
+    deadline = spec.get("deadline", default_deadline)
+    max_instances = spec.get("max_instances")
+    max_chase_steps = spec.get("max_chase_steps")
+    if deadline is None and max_instances is None and max_chase_steps is None:
+        return None
+    return Budget(
+        deadline=deadline,
+        max_instances=max_instances,
+        max_chase_steps=max_chase_steps,
+    )
+
+
+# -- rendering helpers -----------------------------------------------------
+
+
+def _facts(instance: Any) -> str:
+    return "{" + ", ".join(str(fact) for fact in instance.sorted_facts()) + "}"
+
+
+def _header(name: str, what: str, spec: Dict[str, Any]) -> str:
+    domain = ",".join(spec["domain"])
+    return (
+        f"== check {name}: {what} over domain {{{domain}}}, "
+        f"max_facts={spec['max_facts']} =="
+    )
+
+
+def _coverage_line(coverage: str, instances: int, orbits: int) -> str:
+    return (
+        f"coverage: {coverage} "
+        f"(instances_checked={instances}, orbits_checked={orbits})"
+    )
+
+
+def _violation_lines(pairs, joiner: str, limit: int = 5) -> List[str]:
+    lines = [
+        f"  violation: {_facts(left)} {joiner} {_facts(right)}"
+        for left, right in pairs[:limit]
+    ]
+    if len(pairs) > limit:
+        lines.append(f"  ... and {len(pairs) - limit} more")
+    return lines
+
+
+def _universe(mapping, spec: Dict[str, Any]) -> list:
+    from repro.workloads import power_instances
+
+    return list(
+        power_instances(
+            mapping.source, tuple(spec["domain"]), max_facts=spec["max_facts"]
+        )
+    )
+
+
+def _sweep_options(spec: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "workers": spec.get("workers"),
+        "symmetry": spec.get("symmetry"),
+        "backend": spec.get("backend"),
+        "shards": spec.get("shards"),
+        "shard_id": spec.get("shard_id"),
+    }
+
+
+def _mapping_label(mapping) -> str:
+    return mapping.name or "inline"
+
+
+# -- per-kind executors ----------------------------------------------------
+
+
+def _run_experiment_job(
+    spec: Dict[str, Any], checkpoint: Optional[CheckpointJournal]
+) -> Tuple[str, bool]:
+    from repro.experiments import run_experiment
+
+    report = run_experiment(spec["experiment"])
+    return report.render(), report.passed
+
+
+def _run_invertibility_job(
+    spec: Dict[str, Any], checkpoint: Optional[CheckpointJournal]
+) -> Tuple[str, bool]:
+    from repro.analysis.classify import classify_mapping
+    from repro.analysis.invertibility import invertibility_report
+
+    mapping = resolve_mapping(spec["mapping"])
+    classification = classify_mapping(mapping)
+    universe = _universe(mapping, spec)
+    report = invertibility_report(
+        mapping, universe, checkpoint=checkpoint, **_sweep_options(spec)
+    )
+    subset = report.quasi_subset_property
+    lines = [
+        _header(_mapping_label(mapping), "invertibility", spec),
+        f"class: {classification.describe()} "
+        f"({classification.n_dependencies} dependencies)",
+        f"universe: {len(universe)} instances",
+        f"constant propagation: {'yes' if report.constant_propagation else 'no'}",
+        f"unique solutions: {'yes' if report.unique_solutions else 'VIOLATED'}",
+    ]
+    if report.unique_solutions_witness is not None:
+        left, right = report.unique_solutions_witness
+        lines.append(f"  witness: {_facts(left)} ~ {_facts(right)}")
+    lines.append(
+        f"subset property (~M,~M): {'holds' if subset.holds else 'VIOLATED'} "
+        f"(pairs checked: {subset.checked})"
+    )
+    lines.extend(_violation_lines(subset.violations, "|"))
+    lines.append(f"verdict: {report.verdict()}")
+    lines.append(
+        _coverage_line(report.coverage, report.instances_checked, report.orbits_checked)
+    )
+    return "\n".join(lines), report.unique_solutions and subset.holds
+
+
+def _run_subset_job(
+    spec: Dict[str, Any], checkpoint: Optional[CheckpointJournal]
+) -> Tuple[str, bool]:
+    from repro.core.framework import SolutionEquivalence, subset_property
+
+    mapping = resolve_mapping(spec["mapping"])
+    equivalence = SolutionEquivalence(mapping)
+    universe = _universe(mapping, spec)
+    report = subset_property(
+        mapping,
+        equivalence,
+        equivalence,
+        universe,
+        stop_at_first_violation=False,
+        checkpoint=checkpoint,
+        **_sweep_options(spec),
+    )
+    lines = [
+        _header(_mapping_label(mapping), "subset property (~M,~M)", spec),
+        f"universe: {len(universe)} instances",
+        f"holds: {'yes' if report.holds else 'VIOLATED'} "
+        f"(pairs checked: {report.checked})",
+    ]
+    lines.extend(_violation_lines(report.violations, "|"))
+    lines.append(
+        _coverage_line(report.coverage, report.instances_checked, report.orbits_checked)
+    )
+    return "\n".join(lines), report.holds
+
+
+def _run_unique_job(
+    spec: Dict[str, Any], checkpoint: Optional[CheckpointJournal]
+) -> Tuple[str, bool]:
+    from repro.core.framework import unique_solutions_property
+
+    mapping = resolve_mapping(spec["mapping"])
+    universe = _universe(mapping, spec)
+    # No checkpoint: the unique-solutions sweep carries no journal
+    # support (it is the cheap phase; see invertibility_report).
+    verdict = unique_solutions_property(mapping, universe, **_sweep_options(spec))
+    ok, violations = verdict
+    lines = [
+        _header(_mapping_label(mapping), "unique solutions", spec),
+        f"universe: {len(universe)} instances",
+        f"holds: {'yes' if ok else 'VIOLATED'}",
+    ]
+    lines.extend(_violation_lines(violations, "~"))
+    lines.append(
+        _coverage_line(
+            verdict.coverage, verdict.instances_checked, verdict.orbits_checked
+        )
+    )
+    return "\n".join(lines), ok
+
+
+def _run_roundtrip_job(
+    spec: Dict[str, Any], checkpoint: Optional[CheckpointJournal]
+) -> Tuple[str, bool]:
+    from repro.dataexchange.recovery import faithful_on, sound_on
+
+    mapping = resolve_mapping(spec["mapping"])
+    reverse = resolve_mapping(spec["reverse"])
+    universe = _universe(mapping, spec)
+    options = _sweep_options(spec)
+    options.pop("shards", None)  # round-trip sweeps are unsharded
+    options.pop("shard_id", None)
+    sound = sound_on(mapping, reverse, universe, checkpoint=checkpoint, **options)
+    faithful = faithful_on(mapping, reverse, universe, checkpoint=checkpoint, **options)
+    lines = [
+        _header(
+            _mapping_label(mapping),
+            f"round trip via {_mapping_label(reverse)}",
+            spec,
+        ),
+        f"universe: {len(universe)} instances",
+        f"sound: {'yes' if sound.ok else 'VIOLATED'}",
+    ]
+    for violator in sound.violators[:5]:
+        lines.append(f"  violator: {_facts(violator)}")
+    lines.append(f"faithful: {'yes' if faithful.ok else 'VIOLATED'}")
+    for violator in faithful.violators[:5]:
+        lines.append(f"  violator: {_facts(violator)}")
+    coverage = worst_coverage(sound.coverage, faithful.coverage)
+    lines.append(
+        _coverage_line(
+            coverage,
+            sound.instances_checked + faithful.instances_checked,
+            sound.orbits_checked + faithful.orbits_checked,
+        )
+    )
+    return "\n".join(lines), sound.ok and faithful.ok
+
+
+_EXECUTORS: Dict[str, Callable[..., Tuple[str, bool]]] = {
+    "experiment": _run_experiment_job,
+    "invertibility": _run_invertibility_job,
+    "subset": _run_subset_job,
+    "unique": _run_unique_job,
+    "roundtrip": _run_roundtrip_job,
+}
+
+
+def execute_job(
+    spec: Dict[str, Any],
+    *,
+    budget: Optional[Budget] = None,
+    checkpoint: Optional[CheckpointJournal] = None,
+) -> JobOutcome:
+    """Run one canonical job spec to a terminal outcome.
+
+    Never raises for engine-level failures: an unhandled
+    :class:`ReproError` (universe too large, chase error, ...) becomes
+    a ``faulted`` outcome whose rendering carries the error, so the
+    daemon's queue can never wedge on a poisonous job.
+    """
+    executor = _EXECUTORS.get(spec.get("kind"))
+    if executor is None:
+        raise ServiceProtocolError(f"unknown job kind {spec.get('kind')!r}")
+    started = time.perf_counter()
+    error: Optional[ReproError] = None
+    rendering, passed = "", False
+    with coverage_scope() as events:
+        with use_budget(budget):
+            try:
+                rendering, passed = executor(spec, checkpoint)
+            except ReproError as trapped:
+                error = trapped
+    seconds = time.perf_counter() - started
+    event_payload = [
+        {
+            "phase": event.phase,
+            "coverage": event.coverage,
+            "detail": event.detail,
+            "instances_checked": event.instances_checked,
+        }
+        for event in events
+    ]
+    coverage = (
+        worst_coverage(*(event.coverage for event in events))
+        if events
+        else COVERAGE_EXHAUSTIVE
+    )
+    if error is not None:
+        state = STATE_FAULTED
+        rendering = f"error: {type(error).__name__}: {error}"
+        coverage = "faulted"
+    elif not passed:
+        state = STATE_VIOLATED
+    elif coverage == "faulted":
+        state = STATE_FAULTED
+    elif coverage in ("deadline", "budget"):
+        state = STATE_PARTIAL
+    else:
+        state = STATE_DONE
+    return JobOutcome(
+        state=state,
+        exit_code=exit_code_for(state),
+        rendering=rendering,
+        coverage=coverage,
+        coverage_events=event_payload,
+        seconds=seconds,
+    )
+
+
+__all__ = ["JobOutcome", "budget_for", "execute_job"]

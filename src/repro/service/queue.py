@@ -1,0 +1,435 @@
+"""The daemon's batching job queue.
+
+One :class:`JobQueue` owns every job the daemon has seen.  Jobs are
+keyed two ways: by *id* (what clients poll) and by *content key*
+(:func:`~repro.service.protocol.job_key` over the canonical spec) —
+the second index is what deduplicates identical requests: while a job
+for key K is queued or running, submitting K again returns the same
+record and bumps the engine's ``service_dedup_hits`` counter instead
+of queueing a second chase.
+
+Execution: ``max_jobs`` asyncio worker loops each pull one job at a
+time and run it with :func:`asyncio.to_thread`, so sweeps (which fan
+out through the supervised fork pool themselves) never block the
+event loop.  Every job runs under its own :class:`Budget` — the
+spec's limits plus the daemon-wide ``--job-deadline`` — and its own
+per-key checkpoint journal in the state directory.
+
+Lifecycle around restarts:
+
+* the queue journal (``jobs.json``) persists every record — terminal
+  jobs with their full outcome, non-terminal jobs as ``queued``;
+* SIGTERM drains by calling :meth:`Budget.expire_now` on every
+  running job: the sweep trips its deadline at the next probe,
+  flushes its checkpoint journal, and the partial result is *not*
+  finalized — the record goes back to ``queued``;
+* a restarted daemon re-enqueues those records; their sweeps resume
+  from the journal's verified prefix (reported as ``resumed_prefix``
+  on the job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.budget import Budget
+from repro.engine.cache import flush_active_store
+from repro.engine.checkpoint import CheckpointJournal
+from repro.engine.instrumentation import engine_stats
+from repro.errors import JobNotFound
+from repro.service.jobs import JobOutcome, budget_for, execute_job
+from repro.service.protocol import (
+    STATE_CANCELLED,
+    STATE_FAULTED,
+    STATE_PARTIAL,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    TERMINAL_STATES,
+    exit_code_for,
+    job_key,
+    normalize_job,
+)
+
+
+def _now() -> float:
+    return time.time()
+
+
+@dataclass
+class JobRecord:
+    """One submitted job, from queue to terminal state."""
+
+    job_id: str
+    key: str
+    spec: Dict[str, Any]
+    state: str = STATE_QUEUED
+    submitted_at: float = field(default_factory=_now)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    outcome: Optional[JobOutcome] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    dedup_count: int = 0
+    resumed_prefix: int = 0
+    cancel_requested: bool = False
+    interrupted: bool = False
+    budget: Optional[Budget] = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def add_event(self, name: str, **detail: Any) -> None:
+        event = {"event": name, "ts": round(_now(), 3)}
+        event.update(detail)
+        self.events.append(event)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def exit_code(self) -> Optional[int]:
+        return exit_code_for(self.state) if self.terminal else None
+
+    def to_json(self, *, include_rendering: bool = True) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "id": self.job_id,
+            "key": self.key,
+            "kind": self.spec.get("kind"),
+            "spec": self.spec,
+            "state": self.state,
+            "exit_code": self.exit_code(),
+            "deduplicated": self.dedup_count,
+            "resumed_prefix": self.resumed_prefix,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "events": list(self.events),
+        }
+        if self.outcome is not None and self.terminal:
+            outcome = self.outcome.to_json()
+            if not include_rendering:
+                outcome.pop("rendering", None)
+            payload["outcome"] = outcome
+        return payload
+
+
+def journal_progress(path: str) -> int:
+    """Verified-but-incomplete prefix recorded in a checkpoint journal
+    file (summed over its incomplete sweep entries); 0 when absent."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return 0
+    if not isinstance(data, dict):
+        return 0
+    progress = 0
+    for entry in data.values():
+        if isinstance(entry, dict) and not entry.get("complete"):
+            try:
+                progress += int(entry.get("verified_upto", 0) or 0)
+            except (TypeError, ValueError):
+                continue
+    return progress
+
+
+class JobQueue:
+    """Bounded-concurrency job execution with dedup and drain/resume
+    (see module docstring).  All public methods must be called from
+    the owning event loop; the heavy lifting happens in threads."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        *,
+        max_jobs: int = 2,
+        job_deadline: Optional[float] = None,
+    ) -> None:
+        self.state_dir = state_dir
+        self.max_jobs = max(1, int(max_jobs))
+        self.job_deadline = job_deadline
+        self.started_at = _now()
+        self._jobs: Dict[str, JobRecord] = {}
+        self._active_by_key: Dict[str, JobRecord] = {}
+        self._pending: asyncio.Queue = asyncio.Queue()
+        self._workers: List[asyncio.Task] = []
+        self._counter = 0
+        self._draining = False
+        os.makedirs(state_dir, exist_ok=True)
+
+    # -- persistence -------------------------------------------------
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.state_dir, "jobs.json")
+
+    def checkpoint_path(self, key: str) -> str:
+        return os.path.join(self.state_dir, f"job-{key[:32]}.ckpt.json")
+
+    def _persist(self) -> None:
+        entries = []
+        for record in self._jobs.values():
+            entry: Dict[str, Any] = {
+                "id": record.job_id,
+                "key": record.key,
+                "spec": record.spec,
+                "state": record.state if record.terminal else STATE_QUEUED,
+                "submitted_at": record.submitted_at,
+                "dedup_count": record.dedup_count,
+            }
+            if record.outcome is not None and record.terminal:
+                entry["outcome"] = record.outcome.to_json()
+            entries.append(entry)
+        temp = self.journal_path + ".tmp"
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                json.dump({"jobs": entries}, handle)
+            os.replace(temp, self.journal_path)
+        except OSError:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+
+    def load(self) -> int:
+        """Restore records from a previous daemon's queue journal.
+        Non-terminal jobs come back as ``queued`` (their checkpoint
+        journals make the re-run a resume).  Returns how many were
+        re-queued."""
+        try:
+            with open(self.journal_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return 0
+        requeued = 0
+        for entry in data.get("jobs", []):
+            try:
+                record = JobRecord(
+                    job_id=str(entry["id"]),
+                    key=str(entry["key"]),
+                    spec=dict(entry["spec"]),
+                    state=str(entry["state"]),
+                    submitted_at=float(entry.get("submitted_at", _now())),
+                    dedup_count=int(entry.get("dedup_count", 0)),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+            if record.terminal:
+                outcome = entry.get("outcome")
+                if isinstance(outcome, dict):
+                    record.outcome = JobOutcome(
+                        state=outcome.get("state", record.state),
+                        exit_code=outcome.get(
+                            "exit_code", exit_code_for(record.state)
+                        ),
+                        rendering=outcome.get("rendering", ""),
+                        coverage=outcome.get("coverage", "exhaustive"),
+                        coverage_events=list(outcome.get("coverage_events", [])),
+                        seconds=float(outcome.get("seconds", 0.0)),
+                    )
+                record.done.set()
+                record.add_event("restored", state=record.state)
+            else:
+                record.state = STATE_QUEUED
+                record.add_event("requeued")
+                self._active_by_key[record.key] = record
+                requeued += 1
+            self._jobs[record.job_id] = record
+            self._counter = max(self._counter, _id_counter(record.job_id))
+        return requeued
+
+    # -- lifecycle ---------------------------------------------------
+
+    async def start(self) -> None:
+        for record in self._jobs.values():
+            if record.state == STATE_QUEUED:
+                self._pending.put_nowait(record.job_id)
+        self._workers = [
+            asyncio.create_task(self._worker_loop(), name=f"job-worker-{i}")
+            for i in range(self.max_jobs)
+        ]
+
+    async def drain(self, timeout: float = 60.0) -> None:
+        """Graceful shutdown: interrupt running sweeps through their
+        budgets, let them checkpoint, persist the queue journal."""
+        self._draining = True
+        for record in self._jobs.values():
+            if record.state == STATE_RUNNING:
+                record.interrupted = True
+                if record.budget is not None:
+                    record.budget.expire_now()
+        deadline = time.monotonic() + timeout
+        while any(r.state == STATE_RUNNING for r in self._jobs.values()):
+            if time.monotonic() > deadline:
+                break
+            await asyncio.sleep(0.05)
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        self._persist()
+        flush_active_store()
+
+    # -- submission and queries --------------------------------------
+
+    def submit(self, payload: Any) -> Tuple[JobRecord, bool]:
+        """Normalize, dedup, and enqueue.  Returns ``(record, was_dedup)``;
+        raises :class:`ServiceProtocolError` for malformed payloads."""
+        spec = normalize_job(payload)
+        key = job_key(spec)
+        existing = self._active_by_key.get(key)
+        if existing is not None and not existing.terminal:
+            existing.dedup_count += 1
+            existing.add_event("deduplicated")
+            engine_stats().bump("service_dedup_hits")
+            return existing, True
+        self._counter += 1
+        record = JobRecord(
+            job_id=f"j{self._counter:06d}-{key[:8]}", key=key, spec=spec
+        )
+        record.add_event("submitted")
+        self._jobs[record.job_id] = record
+        self._active_by_key[key] = record
+        self._pending.put_nowait(record.job_id)
+        engine_stats().bump("service_jobs_submitted")
+        self._persist()
+        return record, False
+
+    def get(self, job_id: str) -> JobRecord:
+        record = self._jobs.get(job_id)
+        if record is None:
+            raise JobNotFound(f"no job {job_id!r}")
+        return record
+
+    def records(self) -> List[JobRecord]:
+        return list(self._jobs.values())
+
+    async def wait(self, job_id: str, timeout: Optional[float] = None) -> JobRecord:
+        """Block until the job reaches a terminal state (or timeout)."""
+        record = self.get(job_id)
+        if not record.terminal:
+            try:
+                await asyncio.wait_for(record.done.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+        return record
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job.  Queued jobs cancel immediately; running jobs
+        have their budget force-expired and finalize as ``cancelled``
+        once the sweep unwinds.  Returns False when already terminal."""
+        record = self.get(job_id)
+        if record.terminal:
+            return False
+        if record.state == STATE_QUEUED:
+            record.add_event("cancelled")
+            self._finalize(record, STATE_CANCELLED)
+            return True
+        record.cancel_requested = True
+        record.add_event("cancel_requested")
+        if record.budget is not None:
+            record.budget.expire_now()
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        states: Dict[str, int] = {}
+        for record in self._jobs.values():
+            states[record.state] = states.get(record.state, 0) + 1
+        stats = engine_stats()
+        return {
+            "uptime_seconds": round(_now() - self.started_at, 3),
+            "max_jobs": self.max_jobs,
+            "job_deadline": self.job_deadline,
+            "jobs": states,
+            "pending": self._pending.qsize(),
+            "dedup_hits": stats.counter("service_dedup_hits"),
+            "jobs_submitted": stats.counter("service_jobs_submitted"),
+            "jobs_executed": stats.counter("service_jobs_executed"),
+            "engine": stats.counters(),
+        }
+
+    # -- execution ---------------------------------------------------
+
+    async def _worker_loop(self) -> None:
+        while True:
+            job_id = await self._pending.get()
+            record = self._jobs.get(job_id)
+            if record is None or record.state != STATE_QUEUED:
+                continue
+            if self._draining:
+                continue
+            try:
+                await self._run_job(record)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as error:
+                # Belt and braces: a job must never wedge its worker.
+                record.outcome = JobOutcome(
+                    state=STATE_FAULTED,
+                    exit_code=exit_code_for(STATE_FAULTED),
+                    rendering=f"error: {type(error).__name__}: {error}",
+                    coverage="faulted",
+                )
+                self._finalize(record, STATE_FAULTED)
+
+    async def _run_job(self, record: JobRecord) -> None:
+        record.state = STATE_RUNNING
+        record.started_at = _now()
+        record.add_event("started")
+        budget = budget_for(record.spec, self.job_deadline) or Budget()
+        record.budget = budget
+        ckpt_path = self.checkpoint_path(record.key)
+        resumed = journal_progress(ckpt_path)
+        if resumed:
+            record.resumed_prefix = resumed
+            record.add_event("resumed", prefix=resumed)
+        journal = CheckpointJournal(ckpt_path, resume=True)
+        engine_stats().bump("service_jobs_executed")
+        outcome = await asyncio.to_thread(
+            execute_job, record.spec, budget=budget, checkpoint=journal
+        )
+        record.budget = None
+        if record.cancel_requested:
+            record.outcome = outcome
+            record.add_event("cancelled")
+            self._finalize(record, STATE_CANCELLED)
+        elif record.interrupted and outcome.state == STATE_PARTIAL:
+            # Drained mid-flight: the checkpoint journal holds the
+            # verified prefix; hand the record back to the queue so a
+            # restarted daemon resumes instead of reporting partial.
+            record.interrupted = False
+            record.state = STATE_QUEUED
+            record.add_event("drained")
+        else:
+            record.outcome = outcome
+            self._finalize(record, outcome.state)
+
+    def _finalize(self, record: JobRecord, state: str) -> None:
+        record.state = state
+        record.finished_at = _now()
+        record.add_event("finished", state=state)
+        if self._active_by_key.get(record.key) is record:
+            del self._active_by_key[record.key]
+        record.done.set()
+        # The checkpoint journal exists to resume *interrupted* jobs;
+        # once the outcome is terminal it must go, or a later
+        # resubmission of the same question would replay the stored
+        # verdict ("pairs checked: 0") instead of re-executing.
+        try:
+            os.unlink(self.checkpoint_path(record.key))
+        except OSError:
+            pass
+        flush_active_store()
+        self._persist()
+
+
+def _id_counter(job_id: str) -> int:
+    try:
+        return int(job_id.split("-", 1)[0].lstrip("j"))
+    except ValueError:
+        return 0
+
+
+__all__ = ["JobQueue", "JobRecord", "journal_progress"]

@@ -1,0 +1,148 @@
+"""Wire-format normalization: canonical specs, content keys, state maps."""
+
+import pytest
+
+from repro.errors import ServiceProtocolError
+from repro.service.protocol import (
+    JOB_STATES,
+    STATE_EXIT_CODES,
+    STATE_HTTP_STATUS,
+    TERMINAL_STATES,
+    exit_code_for,
+    job_key,
+    normalize_job,
+    resolve_mapping,
+)
+
+
+class TestNormalizeJob:
+    def test_defaults_fill_in(self):
+        spec = normalize_job({"kind": "subset", "mapping": "Projection"})
+        assert spec == {
+            "kind": "subset",
+            "mapping": "Projection",
+            "domain": ["a", "b"],
+            "max_facts": 1,
+        }
+
+    def test_domain_is_sorted_and_deduplicated(self):
+        spec = normalize_job(
+            {"kind": "unique", "mapping": "Projection", "domain": ["b", "a", "b"]}
+        )
+        assert spec["domain"] == ["a", "b"]
+
+    def test_domain_accepts_comma_string(self):
+        spec = normalize_job(
+            {"kind": "unique", "mapping": "Projection", "domain": "c,a"}
+        )
+        assert spec["domain"] == ["a", "c"]
+
+    def test_experiment_spec_carries_only_the_id(self):
+        spec = normalize_job({"kind": "experiment", "experiment": "E1"})
+        assert spec == {"kind": "experiment", "experiment": "E1"}
+
+    def test_roundtrip_needs_reverse(self):
+        with pytest.raises(ServiceProtocolError):
+            normalize_job({"kind": "roundtrip", "mapping": "Decomposition"})
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {"kind": "nonsense"},
+            {"kind": "subset"},  # no mapping
+            {"kind": "subset", "mapping": "NoSuchMapping"},
+            {"kind": "experiment", "experiment": "E999"},
+            {"kind": "subset", "mapping": "Projection", "domain": []},
+            {"kind": "subset", "mapping": "Projection", "max_facts": -1},
+            {"kind": "subset", "mapping": "Projection", "max_facts": True},
+            {"kind": "subset", "mapping": "Projection", "workers": "two"},
+            {"kind": "subset", "mapping": "Projection", "symmetry": "diag"},
+            {"kind": "subset", "mapping": "Projection", "backend": "gpu"},
+        ],
+    )
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(ServiceProtocolError):
+            normalize_job(payload)
+
+    def test_option_typing_floats_accept_ints(self):
+        spec = normalize_job(
+            {"kind": "subset", "mapping": "Projection", "deadline": 5}
+        )
+        assert spec["deadline"] == 5.0
+        assert isinstance(spec["deadline"], float)
+
+    def test_inline_mapping_canonicalized(self):
+        spec = normalize_job(
+            {
+                "kind": "subset",
+                "mapping": {
+                    "source": {"P": 2},
+                    "target": {"Q": 2},
+                    "dependencies": "P(x,y) -> Q(x,y)",
+                    "name": "copy",
+                },
+            }
+        )
+        assert spec["mapping"]["source"] == {"P": 2}
+        assert resolve_mapping(spec["mapping"]).name == "copy"
+
+    def test_inline_mapping_parse_errors_rejected_at_submit(self):
+        with pytest.raises(ServiceProtocolError):
+            normalize_job(
+                {
+                    "kind": "subset",
+                    "mapping": {
+                        "source": {"P": 2},
+                        "target": {"Q": 2},
+                        "dependencies": "this is not a dependency",
+                    },
+                }
+            )
+
+
+class TestJobKey:
+    def test_equal_questions_equal_keys(self):
+        left = normalize_job(
+            {"kind": "subset", "mapping": "Projection", "domain": ["b", "a"]}
+        )
+        right = normalize_job(
+            {"kind": "subset", "mapping": "Projection", "domain": "a,b"}
+        )
+        assert job_key(left) == job_key(right)
+
+    def test_different_questions_differ(self):
+        base = {"kind": "subset", "mapping": "Projection"}
+        assert job_key(normalize_job(base)) != job_key(
+            normalize_job({**base, "max_facts": 2})
+        )
+        assert job_key(normalize_job(base)) != job_key(
+            normalize_job({**base, "kind": "unique"})
+        )
+
+    def test_options_are_part_of_the_key(self):
+        base = {"kind": "subset", "mapping": "Projection"}
+        assert job_key(normalize_job(base)) != job_key(
+            normalize_job({**base, "symmetry": "orbits"})
+        )
+
+
+class TestStateMaps:
+    def test_every_terminal_state_has_exit_code_and_http_status(self):
+        for state in TERMINAL_STATES:
+            assert exit_code_for(state) == STATE_EXIT_CODES[state]
+            assert state in STATE_HTTP_STATUS
+
+    def test_exit_codes_mirror_the_cli(self):
+        assert STATE_EXIT_CODES["done"] == 0
+        assert STATE_EXIT_CODES["violated"] == 1
+        assert STATE_EXIT_CODES["partial"] == 3
+        assert STATE_EXIT_CODES["faulted"] == 4
+
+    def test_non_terminal_states_have_no_exit_code(self):
+        for state in JOB_STATES:
+            if state in TERMINAL_STATES:
+                continue
+            assert STATE_HTTP_STATUS[state] == 202
+            with pytest.raises(ServiceProtocolError):
+                exit_code_for(state)

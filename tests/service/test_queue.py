@@ -1,0 +1,304 @@
+"""The job state machine, transition by transition.
+
+Heavy sweeps are faked here — a controllable ``execute_job`` stand-in
+lets each test drive exactly one transition (budget trips, worker
+deaths, drains) without fork pools; the subprocess smoke tests exercise
+the real engine end to end.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.engine.budget import Budget
+from repro.engine.instrumentation import engine_stats
+from repro.errors import DeadlineExceeded, JobNotFound, ServiceProtocolError
+from repro.service.jobs import JobOutcome
+from repro.service.queue import JobQueue, journal_progress
+
+
+@pytest.fixture(autouse=True)
+def _clean_stats():
+    engine_stats().reset()
+    yield
+    engine_stats().reset()
+
+
+def _outcome(state, rendering="fake report"):
+    from repro.service.protocol import exit_code_for
+
+    return JobOutcome(
+        state=state, exit_code=exit_code_for(state), rendering=rendering
+    )
+
+
+def _fake_executor(monkeypatch, outcome=None, *, started=None, hold=None):
+    """Replace the queue's ``execute_job`` with a fake that optionally
+    signals `started`, then blocks on the budget until `hold` is set or
+    the budget expires (returning ``partial``, like a real sweep)."""
+
+    def fake(spec, *, budget=None, checkpoint=None):
+        if started is not None:
+            started.set()
+        if hold is not None:
+            while not hold.is_set():
+                if budget is not None:
+                    try:
+                        budget.check()
+                    except DeadlineExceeded:
+                        if checkpoint is not None:
+                            checkpoint.record(
+                                "fake-sweep",
+                                verified_upto=8,
+                                total=37,
+                                ok=True,
+                                violations=0,
+                                fingerprint="cafe",
+                                flush=True,
+                            )
+                        return _outcome("partial")
+                time.sleep(0.005)
+        return outcome or _outcome("done")
+
+    import repro.service.queue as queue_module
+
+    monkeypatch.setattr(queue_module, "execute_job", fake)
+    return fake
+
+
+async def _until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(0.01)
+
+
+SPEC = {"kind": "unique", "mapping": "Projection"}
+
+
+class TestTransitions:
+    @pytest.mark.parametrize("state", ["done", "violated", "partial", "faulted"])
+    def test_queued_running_terminal(self, tmp_path, monkeypatch, state):
+        async def scenario():
+            _fake_executor(monkeypatch, _outcome(state))
+            queue = JobQueue(str(tmp_path), max_jobs=1)
+            await queue.start()
+            record, deduped = queue.submit(dict(SPEC))
+            assert not deduped
+            await queue.wait(record.job_id, timeout=5)
+            assert record.state == state
+            assert record.exit_code() == record.outcome.exit_code
+            names = [event["event"] for event in record.events]
+            assert names[:2] == ["submitted", "started"]
+            assert names[-1] == "finished"
+            await queue.drain(timeout=1)
+
+        asyncio.run(scenario())
+
+    def test_cancel_queued_job(self, tmp_path, monkeypatch):
+        async def scenario():
+            started = threading.Event()
+            hold = threading.Event()
+            _fake_executor(monkeypatch, started=started, hold=hold)
+            queue = JobQueue(str(tmp_path), max_jobs=1)
+            await queue.start()
+            blocker, _ = queue.submit(dict(SPEC))
+            victim, _ = queue.submit({**SPEC, "max_facts": 2})
+            await _until(lambda: blocker.state == "running")
+            assert victim.state == "queued"
+            assert queue.cancel(victim.job_id)
+            assert victim.state == "cancelled"
+            assert victim.exit_code() == 5
+            hold.set()
+            await queue.wait(blocker.job_id, timeout=5)
+            await queue.drain(timeout=1)
+
+        asyncio.run(scenario())
+
+    def test_cancel_running_job(self, tmp_path, monkeypatch):
+        async def scenario():
+            started = threading.Event()
+            hold = threading.Event()
+            _fake_executor(monkeypatch, started=started, hold=hold)
+            queue = JobQueue(str(tmp_path), max_jobs=1)
+            await queue.start()
+            record, _ = queue.submit(dict(SPEC))
+            await _until(started.is_set)
+            assert record.state == "running"
+            assert queue.cancel(record.job_id)  # expires the budget
+            await queue.wait(record.job_id, timeout=5)
+            assert record.state == "cancelled"
+            assert not queue.cancel(record.job_id)  # already terminal
+            await queue.drain(timeout=1)
+
+        asyncio.run(scenario())
+
+    def test_budget_trip_mid_job_is_partial(self, tmp_path, monkeypatch):
+        async def scenario():
+            started = threading.Event()
+            hold = threading.Event()  # never set: only the budget stops it
+            _fake_executor(monkeypatch, started=started, hold=hold)
+            queue = JobQueue(str(tmp_path), max_jobs=1, job_deadline=0.2)
+            await queue.start()
+            record, _ = queue.submit(dict(SPEC))
+            await queue.wait(record.job_id, timeout=5)
+            assert record.state == "partial"
+            assert record.exit_code() == 3
+            await queue.drain(timeout=1)
+
+        asyncio.run(scenario())
+
+    def test_poison_job_never_wedges_the_queue(self, tmp_path, monkeypatch):
+        async def scenario():
+            import repro.service.queue as queue_module
+
+            calls = []
+
+            def poison(spec, *, budget=None, checkpoint=None):
+                calls.append(spec)
+                if len(calls) == 1:
+                    raise RuntimeError("synthetic executor crash")
+                return _outcome("done")
+
+            monkeypatch.setattr(queue_module, "execute_job", poison)
+            queue = JobQueue(str(tmp_path), max_jobs=1)
+            await queue.start()
+            first, _ = queue.submit(dict(SPEC))
+            await queue.wait(first.job_id, timeout=5)
+            assert first.state == "faulted"
+            assert "synthetic executor crash" in first.outcome.rendering
+            second, _ = queue.submit({**SPEC, "max_facts": 2})
+            await queue.wait(second.job_id, timeout=5)
+            assert second.state == "done"  # the worker survived
+            await queue.drain(timeout=1)
+
+        asyncio.run(scenario())
+
+
+class TestDeduplication:
+    def test_in_flight_duplicates_join_the_same_record(self, tmp_path, monkeypatch):
+        async def scenario():
+            started = threading.Event()
+            hold = threading.Event()
+            _fake_executor(monkeypatch, started=started, hold=hold)
+            queue = JobQueue(str(tmp_path), max_jobs=1)
+            await queue.start()
+            first, deduped_first = queue.submit(dict(SPEC))
+            second, deduped_second = queue.submit(
+                {**SPEC, "domain": ["b", "a"]}  # same canonical question
+            )
+            assert not deduped_first and deduped_second
+            assert first is second
+            assert first.dedup_count == 1
+            assert queue.stats()["dedup_hits"] == 1
+            assert queue.stats()["jobs_submitted"] == 1
+            hold.set()
+            await queue.wait(first.job_id, timeout=5)
+            # Terminal records are no longer dedup targets.
+            third, deduped_third = queue.submit(dict(SPEC))
+            assert not deduped_third and third is not first
+            hold.set()
+            await queue.wait(third.job_id, timeout=5)
+            await queue.drain(timeout=1)
+
+        asyncio.run(scenario())
+
+
+class TestDrainAndResume:
+    def test_drain_requeues_running_jobs_with_checkpoint(self, tmp_path, monkeypatch):
+        async def scenario():
+            started = threading.Event()
+            hold = threading.Event()  # never set: drain must interrupt
+            _fake_executor(monkeypatch, started=started, hold=hold)
+            queue = JobQueue(str(tmp_path), max_jobs=1)
+            await queue.start()
+            record, _ = queue.submit(dict(SPEC))
+            await _until(started.is_set)
+            await queue.drain(timeout=5)
+            assert record.state == "queued"  # running -> queued, not partial
+            assert [e["event"] for e in record.events][-1] == "drained"
+            assert journal_progress(queue.checkpoint_path(record.key)) == 8
+            persisted = json.loads(
+                (tmp_path / "jobs.json").read_text(encoding="utf-8")
+            )
+            assert persisted["jobs"][0]["state"] == "queued"
+            return record.key
+
+        key = asyncio.run(scenario())
+
+        async def restart():
+            _fake_executor(monkeypatch, _outcome("done"))
+            queue = JobQueue(str(tmp_path), max_jobs=1)
+            assert queue.load() == 1
+            await queue.start()
+            [record] = queue.records()
+            assert record.key == key
+            await queue.wait(record.job_id, timeout=5)
+            assert record.state == "done"
+            assert record.resumed_prefix == 8  # picked up the journal
+            events = [e["event"] for e in record.events]
+            assert "requeued" in events and "resumed" in events
+            await queue.drain(timeout=1)
+
+        asyncio.run(restart())
+
+    def test_terminal_jobs_survive_restart_with_outcome(self, tmp_path, monkeypatch):
+        async def scenario():
+            _fake_executor(monkeypatch, _outcome("violated", "bad mapping"))
+            queue = JobQueue(str(tmp_path), max_jobs=1)
+            await queue.start()
+            record, _ = queue.submit(dict(SPEC))
+            await queue.wait(record.job_id, timeout=5)
+            await queue.drain(timeout=1)
+
+        asyncio.run(scenario())
+
+        async def restart():
+            queue = JobQueue(str(tmp_path), max_jobs=1)
+            assert queue.load() == 0  # terminal: nothing to re-queue
+            [record] = queue.records()
+            assert record.state == "violated"
+            assert record.outcome.rendering == "bad mapping"
+            assert record.exit_code() == 1
+
+        asyncio.run(restart())
+
+
+class TestQueries:
+    def test_unknown_job_raises(self, tmp_path):
+        async def scenario():
+            queue = JobQueue(str(tmp_path))
+            with pytest.raises(JobNotFound):
+                queue.get("j999999-deadbeef")
+
+        asyncio.run(scenario())
+
+    def test_malformed_submit_raises_without_a_record(self, tmp_path):
+        async def scenario():
+            queue = JobQueue(str(tmp_path))
+            with pytest.raises(ServiceProtocolError):
+                queue.submit({"kind": "subset", "mapping": "NoSuchMapping"})
+            assert queue.records() == []
+
+        asyncio.run(scenario())
+
+    def test_stats_shape(self, tmp_path, monkeypatch):
+        async def scenario():
+            _fake_executor(monkeypatch, _outcome("done"))
+            queue = JobQueue(str(tmp_path), max_jobs=3, job_deadline=9.0)
+            await queue.start()
+            record, _ = queue.submit(dict(SPEC))
+            await queue.wait(record.job_id, timeout=5)
+            stats = queue.stats()
+            assert stats["max_jobs"] == 3
+            assert stats["job_deadline"] == 9.0
+            assert stats["jobs"] == {"done": 1}
+            assert stats["jobs_executed"] == 1
+            assert "engine" in stats
+            await queue.drain(timeout=1)
+
+        asyncio.run(scenario())

@@ -80,3 +80,38 @@ def test_backend_flag_sets_environment_knob(capsys):
 def test_backend_flag_rejects_unknown_value():
     with pytest.raises(SystemExit):
         main(["run", "E4", "--backend", "gpu"])
+
+
+def test_check_done_exit_0(capsys):
+    assert main(["check", "invertibility", "Example5.4"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("== check Example5.4: invertibility")
+    assert "verdict: all bounded checks pass" in out
+
+
+def test_check_violated_exit_1(capsys):
+    assert main(["check", "unique", "Projection"]) == 1
+    assert "VIOLATED" in capsys.readouterr().out
+
+
+def test_check_partial_exit_3(capsys):
+    code = main(
+        ["check", "subset", "Decomposition", "--max-facts", "2",
+         "--max-instances", "4"]
+    )
+    assert code == 3
+    assert "coverage: budget" in capsys.readouterr().out
+
+
+def test_check_unknown_mapping_exit_2(capsys):
+    assert main(["check", "subset", "Nope"]) == 2
+    assert "unknown catalog mapping" in capsys.readouterr().err
+
+
+def test_check_unreachable_server_exit_2(capsys):
+    code = main(
+        ["check", "unique", "Projection", "--server", "http://127.0.0.1:1",
+         "--wait", "1"]
+    )
+    assert code == 2
+    assert "cannot reach service" in capsys.readouterr().err
