@@ -1,0 +1,210 @@
+"""Acceptance gate for chaos-hardened checking.
+
+Three promises, checked end to end on the canonical service jobs
+(the same :func:`repro.service.jobs.execute_job` path the daemon and
+the CLI share), each under a *seeded* fault-schedule matrix so every
+run is reproducible:
+
+1. **Byte-identity under faults** — for every (job, schedule) cell the
+   faulted rendering, state and exit code must equal the fault-free
+   baseline byte for byte once the built-in retries settle, and the
+   schedule must actually have injected at least one fault (a chaos
+   run that never fires is a configuration bug, not a pass).
+2. **fsck detection** — after corrupting store rows four different
+   ways (bit flip, truncation, checksum scribble, foreign engine
+   stamp), ``fsck_store`` must detect exactly the injected count:
+   100% detection, zero false positives on the untouched rows.
+3. **Repair reproduces the verdicts** — after ``fsck --repair``
+   quarantines the damage, a warm re-run against the repaired store
+   must render byte-identically to the pristine baseline while still
+   hitting the surviving rows.
+
+Usage (CI runs this)::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sqlite3
+import sys
+import tempfile
+import time
+
+from repro.engine import (
+    engine_stats,
+    fault_scope,
+    fsck_store,
+    reset_all_caches,
+    reset_engine_stats,
+    use_store,
+)
+from repro.engine.checkpoint import CheckpointJournal
+from repro.engine.store import entry_checksum
+from repro.service.jobs import budget_for, execute_job
+from repro.service.protocol import normalize_job
+
+JOBS = {
+    "subset-decomposition": {
+        "kind": "subset",
+        "mapping": "Decomposition",
+        "max_facts": 2,
+    },
+    "unique-projection": {"kind": "unique", "mapping": "Projection"},
+}
+
+SCHEDULES = {
+    "store-read-p40": "store.read:p=0.4,seed=101",
+    # at=1, not every=N: even the smallest job flushes at least once,
+    # so the "schedule never fired" gate stays meaningful everywhere.
+    "store-write-first": "store.write:at=1",
+    "read+write+journal": (
+        "store.read:p=0.3,seed=7;"
+        "store.write:p=0.3,seed=13;"
+        "journal.flush:every=2"
+    ),
+}
+
+
+def _run(spec, **kwargs):
+    reset_all_caches()
+    spec = normalize_job(dict(spec))
+    kwargs.setdefault("budget", budget_for(spec))
+    start = time.perf_counter()
+    outcome = execute_job(spec, **kwargs)
+    return outcome, time.perf_counter() - start
+
+
+def _render(outcome) -> bytes:
+    return (
+        f"state={outcome.state}\nexit={outcome.exit_code}\n"
+        f"{outcome.rendering}"
+    ).encode()
+
+
+def _mangle(path: str) -> int:
+    """Corrupt every 3rd row, rotating through four corruption
+    classes; returns the number of rows mangled."""
+    connection = sqlite3.connect(path)
+    rows = connection.execute(
+        "SELECT cache, key, value FROM entries ORDER BY cache, key"
+    ).fetchall()
+    victims = rows[::3]
+    with connection:
+        for which, (cache_name, digest, payload) in enumerate(victims):
+            if which % 4 == 0:
+                update, params = "SET value = value || 'X'", ()
+            elif which % 4 == 1:
+                update, params = (
+                    "SET value = substr(value, 1, length(value) - 1)",
+                    (),
+                )
+            elif which % 4 == 2:
+                update, params = "SET checksum = 'deadbeef'", ()
+            else:
+                update, params = (
+                    "SET engine = 'foreign', checksum = ?",
+                    (entry_checksum(cache_name, digest, payload, "foreign"),),
+                )
+            connection.execute(
+                f"UPDATE entries {update} WHERE cache = ? AND key = ?",
+                params + (cache_name, digest),
+            )
+    connection.close()
+    return len(victims)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        default=",".join(JOBS),
+        help="comma-separated subset of the job matrix to run",
+    )
+    args = parser.parse_args(argv)
+    selected = [name.strip() for name in args.jobs.split(",") if name.strip()]
+    unknown = [name for name in selected if name not in JOBS]
+    if unknown:
+        parser.error(f"unknown jobs: {', '.join(unknown)} (have: {', '.join(JOBS)})")
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-chaos-") as tmp:
+        for job_name in selected:
+            spec = JOBS[job_name]
+            baseline, baseline_s = _run(spec)
+            print(
+                f"{job_name}: baseline {baseline.state}"
+                f" (exit {baseline.exit_code}) in {baseline_s:.3f}s"
+            )
+
+            # Gate 1: byte-identity under every seeded schedule.
+            for schedule_name, schedule in SCHEDULES.items():
+                store_path = os.path.join(
+                    tmp, f"{job_name}-{schedule_name}.sqlite"
+                )
+                journal = CheckpointJournal(
+                    os.path.join(tmp, f"{job_name}-{schedule_name}.json"),
+                    interval=1,
+                )
+                reset_engine_stats()
+                with use_store(store_path):
+                    with fault_scope(schedule):
+                        faulted, faulted_s = _run(spec, checkpoint=journal)
+                injected = engine_stats().counter("faults_injected")
+                print(
+                    f"  {schedule_name:<20} {faulted_s:8.3f}s"
+                    f"  ({injected} faults injected)"
+                )
+                if injected == 0:
+                    failures.append(
+                        f"{job_name}/{schedule_name}: schedule never fired"
+                    )
+                if _render(faulted) != _render(baseline):
+                    failures.append(
+                        f"{job_name}/{schedule_name}: faulted outcome"
+                        " diverged from the fault-free baseline"
+                    )
+
+            # Gates 2 + 3: populate, corrupt, detect, repair, re-verify.
+            store_path = os.path.join(tmp, f"{job_name}-fsck.sqlite")
+            with use_store(store_path):
+                pristine, _ = _run(spec)
+            mangled = _mangle(store_path)
+            report = fsck_store(store_path)
+            print(
+                f"  fsck: {mangled} rows corrupted,"
+                f" {report.corrupt} detected ({report.scanned} scanned)"
+            )
+            if report.corrupt != mangled:
+                failures.append(
+                    f"{job_name}: fsck detected {report.corrupt}"
+                    f" of {mangled} corruptions"
+                )
+            repaired = fsck_store(store_path, repair=True)
+            if repaired.repaired != mangled or not fsck_store(store_path).clean:
+                failures.append(f"{job_name}: fsck repair left damage behind")
+            with use_store(store_path) as store:
+                warm, _ = _run(spec)
+                hits = store.hits
+            print(f"  repaired store: {hits} hits on re-run")
+            if hits == 0:
+                failures.append(
+                    f"{job_name}: repaired store never served a row"
+                )
+            if _render(warm) != _render(pristine):
+                failures.append(
+                    f"{job_name}: repaired store changed the verdict"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench_chaos: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -445,6 +445,42 @@ def _report_engine(arguments: argparse.Namespace) -> None:
         print(engine_stats().render(), file=sys.stderr)
 
 
+def _command_fsck(arguments: argparse.Namespace) -> int:
+    """Audit/repair durable state; exit 0 when everything trustworthy.
+
+    Exit codes: 0 — clean (or every corruption was repaired), 1 —
+    corruption found and left in place, 2 — usage error (no target, or
+    a target file that does not exist).
+    """
+    from repro.engine.fsck import fsck_checkpoint, fsck_store
+
+    targets = []
+    if arguments.store:
+        targets.append(("store", arguments.store, fsck_store))
+    if arguments.checkpoint:
+        targets.append(("checkpoint", arguments.checkpoint, fsck_checkpoint))
+    if not targets:
+        print("fsck: nothing to audit (pass --store and/or --checkpoint)",
+              file=sys.stderr)
+        return 2
+    reports = []
+    for kind, path, audit in targets:
+        if not os.path.exists(path):
+            print(f"fsck: no such {kind} file: {path}", file=sys.stderr)
+            return 2
+        reports.append(audit(path, repair=arguments.repair))
+    if arguments.json:
+        print(json.dumps([report.to_json() for report in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+    unrepaired = any(
+        not report.clean and report.repaired < report.corrupt
+        for report in reports
+    )
+    return 1 if unrepaired else 0
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -514,11 +550,34 @@ def main(argv: List[str] | None = None) -> int:
         "--format", choices=("sql", "json"), default="sql", dest="output_format"
     )
 
+    fsck_parser = subparsers.add_parser(
+        "fsck",
+        help="audit (and optionally repair) a verdict store and/or "
+        "checkpoint journal: per-entry checksums, engine stamps, torn files",
+    )
+    fsck_parser.add_argument(
+        "--store", metavar="PATH", help="verdict-store SQLite file to audit"
+    )
+    fsck_parser.add_argument(
+        "--checkpoint", metavar="PATH", help="checkpoint journal to audit"
+    )
+    fsck_parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt entries and rewrite verified state "
+        "(never destroys data: quarantined rows/entries are kept aside)",
+    )
+    fsck_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable reports"
+    )
+
     arguments = parser.parse_args(argv)
     if arguments.command == "list":
         return _command_list()
     if arguments.command == "export":
         return _command_export(arguments.mapping, arguments.output_format)
+    if arguments.command == "fsck":
+        return _command_fsck(arguments)
     _configure_engine(arguments)
     try:
         if arguments.command == "check":

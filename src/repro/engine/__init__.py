@@ -85,6 +85,14 @@ from repro.engine.checkpoint import (
     sweep_key,
 )
 from repro.engine.compile import CompiledPremise
+from repro.engine.faults import (
+    FAULT_POINTS,
+    FaultPlane,
+    FaultRule,
+    active_plane,
+    fault_scope,
+)
+from repro.engine.fsck import FsckReport, fsck_checkpoint, fsck_store
 from repro.engine.indexing import FactIndex, fact_index, index_build_count
 from repro.engine.kernel import (
     BACKEND_KERNEL,
@@ -161,7 +169,11 @@ __all__ = [
     "CoverageEvent",
     "ENGINE_VERSION",
     "EngineStats",
+    "FAULT_POINTS",
     "FactIndex",
+    "FaultPlane",
+    "FaultRule",
+    "FsckReport",
     "GroundCanonicalForm",
     "InternTable",
     "KernelInstance",
@@ -176,6 +188,7 @@ __all__ = [
     "SweepVerdict",
     "VerdictStore",
     "active_backend",
+    "active_plane",
     "active_store",
     "all_cache_stats",
     "cached_chase_result",
@@ -201,8 +214,11 @@ __all__ = [
     "dropped_flush_count",
     "engine_stats",
     "fact_index",
+    "fault_scope",
     "flush_active_store",
     "fork_available",
+    "fsck_checkpoint",
+    "fsck_store",
     "ground_canonical_form",
     "ground_keys_active",
     "ground_pair_key",

@@ -26,10 +26,11 @@ CLI maps to exit codes, and :class:`SweepVerdict`, a tuple-compatible
 verdict that lets legacy ``ok, violators = sweep(...)`` callers coexist
 with coverage-aware ones.
 
-Deterministic fault injection (for tests): ``REPRO_FAULT_EXPIRE_AFTER``
-set to ``"instances:N"`` or ``"chase_steps:N"`` makes the budget behave
-as if its deadline passed after exactly N charges of that resource,
-regardless of wall-clock time.
+Deterministic fault injection (for tests): the ``budget.expire`` point
+of the unified fault plane (:mod:`repro.engine.faults`) — or its legacy
+``REPRO_FAULT_EXPIRE_AFTER="<instances|chase_steps>:N"`` alias — makes
+the budget behave as if its deadline passed after exactly N charges of
+that resource, regardless of wall-clock time.
 """
 
 from __future__ import annotations
@@ -41,6 +42,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Tuple
 
+from repro.engine import faults
 from repro.errors import BudgetExceeded, DeadlineExceeded
 
 _RSS_CHECK_PERIOD = 256
@@ -56,15 +58,6 @@ def _read_rss_mb() -> Optional[float]:
     except (OSError, ValueError, IndexError):
         return None
     return None
-
-
-def _parse_expire_knob() -> Tuple[Optional[str], int]:
-    """The ``REPRO_FAULT_EXPIRE_AFTER`` fault-injection knob."""
-    raw = os.environ.get("REPRO_FAULT_EXPIRE_AFTER", "")
-    resource, _, count = raw.partition(":")
-    if resource in ("instances", "chase_steps") and count.isdigit():
-        return resource, int(count)
-    return None, 0
 
 
 class Budget:
@@ -109,7 +102,7 @@ class Budget:
         self.instances_checked = 0
         self.chase_steps = 0
         self._checks = 0
-        self._expire_resource, self._expire_after = _parse_expire_knob()
+        self._expire_resource, self._expire_after = faults.expire_rule()
 
     @classmethod
     def from_env(cls) -> Optional["Budget"]:
@@ -200,6 +193,7 @@ class Budget:
             self._expire_resource == "instances"
             and self.instances_checked >= self._expire_after
         ):
+            faults.count_injection("budget.expire")
             self._raise_deadline()
 
     def charge_chase_steps(self, n: int = 1) -> None:
@@ -220,6 +214,7 @@ class Budget:
             self._expire_resource == "chase_steps"
             and self.chase_steps >= self._expire_after
         ):
+            faults.count_injection("budget.expire")
             self._raise_deadline()
 
     # -- external interruption ---------------------------------------

@@ -25,6 +25,17 @@ Flushing is best-effort: a failed rewrite never breaks the sweep, but
 it is *counted* (:func:`dropped_flush_count`, surfaced by
 ``--engine-stats``) and its temp file is cleaned up.
 
+Integrity: every entry is written with a ``sig`` field — a SHA-256
+signature over the entry's content, its key, and the engine version
+(:func:`entry_signature`) — and the file carries a ``__meta__`` record
+with a whole-file checksum.  On reload, a torn or truncated file, a
+mismatched file checksum, or an entry whose signature fails (bit flip,
+hand edit, another engine version) is *dropped and counted*
+(:func:`corrupt_entry_count`, ``checkpoint_corrupt_entries`` in
+``--engine-stats``): the sweep restarts that prefix instead of
+resuming onto corrupt progress.  ``python -m repro.cli fsck
+--checkpoint PATH`` audits and repairs offline.
+
 Sharded sweeps extend the journal with per-shard entries
 (:func:`shard_entry_key`) and *lease records*: sidecar lock files
 through which cooperating processes claim disjoint shards
@@ -47,6 +58,44 @@ import os
 import tempfile
 import time
 from typing import Any, Dict, Iterator, List, Optional
+
+from repro.engine import faults
+
+#: Reserved journal key for the file-level integrity record; never a
+#: sweep entry.  Readers (including the service's journal_progress)
+#: must skip it.
+JOURNAL_META_KEY = "__meta__"
+
+
+def entry_signature(key: str, entry: Dict[str, Any]) -> str:
+    """The per-entry integrity signature stored in ``entry["sig"]``.
+
+    Covers the entry's content (minus the signature itself), the
+    journal key it is filed under, and the engine version — so a
+    flipped bit, a transplanted entry, or progress recorded by an
+    incompatible engine all fail verification and the prefix restarts.
+    """
+    from repro.engine.store import ENGINE_VERSION
+
+    material = json.dumps(
+        {k: v for k, v in entry.items() if k != "sig"},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(
+        f"{key}\x1f{material}\x1f{ENGINE_VERSION}".encode()
+    ).hexdigest()
+
+
+def state_checksum(state: Dict[str, Dict[str, Any]]) -> str:
+    """Whole-file checksum over the journal's sweep entries (the
+    ``__meta__`` record is excluded — it carries this value)."""
+    material = json.dumps(
+        {k: v for k, v in state.items() if k != JOURNAL_META_KEY},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
 
 
 def sweep_key(*parts: Any) -> str:
@@ -77,6 +126,21 @@ def reset_dropped_flush_count() -> None:
     _DROPPED_FLUSHES = 0
 
 
+#: Journal entries (or whole files) dropped on reload because their
+#: integrity signature / checksum failed or the JSON was torn.
+#: Surfaced by ``--engine-stats`` as ``checkpoint_corrupt_entries``.
+_CORRUPT_ENTRIES = 0
+
+
+def corrupt_entry_count() -> int:
+    return _CORRUPT_ENTRIES
+
+
+def reset_corrupt_entry_count() -> None:
+    global _CORRUPT_ENTRIES
+    _CORRUPT_ENTRIES = 0
+
+
 #: Default shard-lease time to live.  A worker that holds a shard
 #: longer than this without completing it is treated as a straggler
 #: and its shard becomes stealable.
@@ -100,21 +164,48 @@ class CheckpointJournal:
 
     def reload(self) -> None:
         """Re-read the journal file (peers may have flushed shard
-        entries since we loaded); unreadable files read as empty."""
+        entries since we loaded).
+
+        A missing file reads as empty; a torn/truncated file, a failed
+        whole-file checksum, or an entry with a bad signature is
+        *dropped and counted* — resuming onto corrupt progress would
+        risk trusting a prefix that was never verified."""
+        global _CORRUPT_ENTRIES
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
-                loaded = json.load(handle)
-        except (OSError, ValueError):
+                raw = handle.read()
+        except OSError:
             return
-        if isinstance(loaded, dict):
-            fresh = {
-                key: entry
-                for key, entry in loaded.items()
-                if isinstance(entry, dict)
-            }
-            # Our own unflushed records win over what is on disk.
-            fresh.update(self._state)
-            self._state = fresh
+        try:
+            loaded = json.loads(raw)
+        except ValueError:
+            # Torn or truncated mid-write: nothing on disk is trusted.
+            _CORRUPT_ENTRIES += 1
+            return
+        if not isinstance(loaded, dict):
+            _CORRUPT_ENTRIES += 1
+            return
+        meta = loaded.pop(JOURNAL_META_KEY, None)
+        if (
+            isinstance(meta, dict)
+            and meta.get("checksum") is not None
+            and meta["checksum"] != state_checksum(loaded)
+        ):
+            # The file-level checksum catches edits that keep every
+            # entry internally consistent (e.g. a deleted entry).
+            _CORRUPT_ENTRIES += 1
+            return
+        fresh: Dict[str, Dict[str, Any]] = {}
+        for key, entry in loaded.items():
+            if not isinstance(entry, dict):
+                continue
+            if entry.get("sig") != entry_signature(key, entry):
+                _CORRUPT_ENTRIES += 1
+                continue
+            fresh[key] = entry
+        # Our own unflushed records win over what is on disk.
+        fresh.update(self._state)
+        self._state = fresh
 
     # -- resume ------------------------------------------------------
 
@@ -175,7 +266,7 @@ class CheckpointJournal:
     ) -> None:
         """Update a sweep's verified prefix; persists every
         ``interval`` calls or when *flush* is set."""
-        self._state[key] = {
+        entry = {
             "verified_upto": verified_upto,
             "total": total,
             "ok": ok,
@@ -183,6 +274,8 @@ class CheckpointJournal:
             "complete": verified_upto >= total,
             "fingerprint": fingerprint,
         }
+        entry["sig"] = entry_signature(key, entry)
+        self._state[key] = entry
         self._pending += 1
         if flush or self._pending >= self.interval:
             self.flush()
@@ -216,6 +309,16 @@ class CheckpointJournal:
         """
         global _DROPPED_FLUSHES
         self._pending = 0
+        if faults.fire("journal.flush") is not None:
+            _DROPPED_FLUSHES += 1
+            return
+        from repro.engine.store import ENGINE_VERSION
+
+        payload: Dict[str, Any] = dict(self._state)
+        payload[JOURNAL_META_KEY] = {
+            "engine": ENGINE_VERSION,
+            "checksum": state_checksum(self._state),
+        }
         directory = os.path.dirname(os.path.abspath(self.path)) or "."
         handle = None
         try:
@@ -228,7 +331,7 @@ class CheckpointJournal:
                 encoding="utf-8",
             )
             with handle:
-                json.dump(self._state, handle, indent=1, sort_keys=True)
+                json.dump(payload, handle, indent=1, sort_keys=True)
             os.replace(handle.name, self.path)
         except OSError:
             _DROPPED_FLUSHES += 1
@@ -471,10 +574,15 @@ def default_journal() -> Optional[CheckpointJournal]:
 __all__ = [
     "CheckpointJournal",
     "DEFAULT_LEASE_TTL",
+    "JOURNAL_META_KEY",
     "claim_shards",
+    "corrupt_entry_count",
     "default_journal",
     "dropped_flush_count",
+    "entry_signature",
+    "reset_corrupt_entry_count",
     "reset_dropped_flush_count",
     "shard_entry_key",
+    "state_checksum",
     "sweep_key",
 ]

@@ -1,0 +1,259 @@
+"""Offline integrity audit and repair for the engine's durable state.
+
+The verdict store and the checkpoint journal both degrade gracefully
+*online* — a corrupt row or entry is counted, quarantined, and served
+as a miss (see :mod:`repro.engine.store` and
+:mod:`repro.engine.checkpoint`).  This module is the *offline*
+counterpart: scan everything, report exactly what is damaged, and —
+with ``repair=True`` — move the damage out of the way so a warm
+restart trusts only verified state.  The CLI exposes it as
+``python -m repro.cli fsck --store PATH --checkpoint PATH [--repair]``.
+
+Repair never destroys data: corrupt store rows move to the store's
+``quarantine`` table, corrupt journal entries move to a
+``<path>.quarantine.json`` sidecar, and a file too damaged to parse at
+all is renamed to ``<path>.corrupt`` for post-mortem inspection.
+Because both stores are caches of deterministic computations, a
+repaired file is always *safe*: anything removed is recomputed, and
+recomputation reproduces the identical verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.engine.checkpoint import (
+    JOURNAL_META_KEY,
+    entry_signature,
+    state_checksum,
+)
+from repro.engine.store import _CODECS, ENGINE_VERSION, entry_checksum
+
+_BUSY_TIMEOUT_SECONDS = 5.0
+_DETAIL_LIMIT = 50
+
+
+@dataclass
+class FsckReport:
+    """The outcome of one fsck scan (one store or one journal)."""
+
+    kind: str  # "store" | "checkpoint"
+    path: str
+    scanned: int = 0
+    corrupt: int = 0
+    quarantined: int = 0
+    repaired: int = 0
+    details: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.corrupt == 0
+
+    def note(self, detail: str) -> None:
+        if len(self.details) < _DETAIL_LIMIT:
+            self.details.append(detail)
+        elif len(self.details) == _DETAIL_LIMIT:
+            self.details.append("... (further details elided)")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "path": self.path,
+            "scanned": self.scanned,
+            "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
+            "repaired": self.repaired,
+            "clean": self.clean,
+            "details": list(self.details),
+        }
+
+    def render(self) -> str:
+        status = "clean" if self.clean else "CORRUPT"
+        lines = [
+            f"fsck {self.kind} {self.path}: {status} — "
+            f"{self.scanned} scanned, {self.corrupt} corrupt, "
+            f"{self.quarantined} quarantined, {self.repaired} repaired"
+        ]
+        lines.extend(f"  - {detail}" for detail in self.details)
+        return "\n".join(lines)
+
+
+def _set_aside(path: str, report: FsckReport, why: str, repair: bool) -> None:
+    """An unparsable file: report it and (on repair) rename it aside."""
+    report.corrupt += 1
+    report.note(why)
+    if not repair:
+        return
+    aside = path + ".corrupt"
+    try:
+        os.replace(path, aside)
+    except OSError as error:
+        report.note(f"could not set aside {path}: {error}")
+        return
+    report.repaired += 1
+    report.note(f"moved aside to {aside}")
+
+
+# -- the verdict store -----------------------------------------------------
+
+
+def fsck_store(path: str, *, repair: bool = False) -> FsckReport:
+    """Audit every row of a verdict store against its checksum.
+
+    Detects flipped bits, truncated values, transplanted rows, rows
+    stamped by another engine version, and files damaged beyond
+    SQLite's ability to read them.  With ``repair=True`` corrupt rows
+    are moved to the ``quarantine`` table (same as the online path);
+    an unreadable database file is renamed to ``<path>.corrupt``.
+    """
+    report = FsckReport("store", path)
+    try:
+        connection = sqlite3.connect(path, timeout=_BUSY_TIMEOUT_SECONDS)
+        rows = connection.execute(
+            "SELECT cache, key, value, checksum, engine FROM entries"
+        ).fetchall()
+        meta_row = connection.execute(
+            "SELECT v FROM meta WHERE k = 'engine_version'"
+        ).fetchone()
+    except sqlite3.Error as error:
+        _set_aside(path, report, f"unreadable SQLite database: {error}", repair)
+        return report
+    store_engine = meta_row[0] if meta_row is not None else ENGINE_VERSION
+    bad: List[tuple] = []
+    for cache_name, digest, payload, checksum, engine in rows:
+        report.scanned += 1
+        reason = None
+        if checksum != entry_checksum(cache_name, digest, payload, engine):
+            reason = "checksum mismatch"
+        elif engine != store_engine:
+            reason = f"engine stamp {engine!r} != store version {store_engine!r}"
+        else:
+            codec = _CODECS.get(cache_name)
+            if codec is not None:
+                try:
+                    codec[1](payload)
+                except Exception as error:
+                    reason = f"undecodable payload: {error}"
+        if reason is not None:
+            report.corrupt += 1
+            report.note(f"{cache_name} {digest[:16]}…: {reason}")
+            bad.append((reason, cache_name, digest))
+    if bad and repair:
+        try:
+            with connection:
+                for reason, cache_name, digest in bad:
+                    connection.execute(
+                        "INSERT OR REPLACE INTO quarantine"
+                        " (cache, key, value, checksum, engine, reason)"
+                        " SELECT cache, key, value, checksum, engine, ?"
+                        " FROM entries WHERE cache = ? AND key = ?",
+                        (reason, cache_name, digest),
+                    )
+                    connection.execute(
+                        "DELETE FROM entries WHERE cache = ? AND key = ?",
+                        (cache_name, digest),
+                    )
+        except sqlite3.Error as error:
+            report.note(f"repair failed: {error}")
+        else:
+            report.quarantined += len(bad)
+            report.repaired += len(bad)
+    try:
+        already = connection.execute(
+            "SELECT COUNT(*) FROM quarantine"
+        ).fetchone()
+        if already and already[0]:
+            report.note(f"quarantine table holds {already[0]} row(s)")
+    except sqlite3.Error:
+        pass
+    connection.close()
+    return report
+
+
+# -- the checkpoint journal ------------------------------------------------
+
+
+def fsck_checkpoint(path: str, *, repair: bool = False) -> FsckReport:
+    """Audit a checkpoint journal: torn JSON, file checksum, per-entry
+    signatures.
+
+    With ``repair=True`` invalid entries are moved to a
+    ``<path>.quarantine.json`` sidecar and the journal rewritten
+    (atomically) with only verified entries and a fresh ``__meta__``;
+    a file that does not parse at all is renamed to ``<path>.corrupt``.
+    """
+    report = FsckReport("checkpoint", path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    except OSError as error:
+        report.corrupt += 1
+        report.note(f"unreadable journal: {error}")
+        return report
+    try:
+        loaded = json.loads(raw)
+        if not isinstance(loaded, dict):
+            raise ValueError("journal root is not an object")
+    except ValueError as error:
+        _set_aside(path, report, f"torn or truncated JSON: {error}", repair)
+        return report
+    meta = loaded.pop(JOURNAL_META_KEY, None)
+    file_checksum_ok = not (
+        isinstance(meta, dict)
+        and meta.get("checksum") is not None
+        and meta["checksum"] != state_checksum(loaded)
+    )
+    if not file_checksum_ok:
+        report.corrupt += 1
+        report.note("file checksum mismatch (entries added or removed)")
+    valid: Dict[str, Any] = {}
+    dropped: Dict[str, Any] = {}
+    for key, entry in loaded.items():
+        report.scanned += 1
+        if not isinstance(entry, dict) or entry.get("sig") != entry_signature(
+            key, entry
+        ):
+            report.corrupt += 1
+            report.note(f"entry {key}: bad or missing signature")
+            dropped[key] = entry
+        else:
+            valid[key] = entry
+    if repair and (dropped or not file_checksum_ok):
+        if dropped:
+            sidecar = path + ".quarantine.json"
+            try:
+                existing: Dict[str, Any] = {}
+                if os.path.exists(sidecar):
+                    with open(sidecar, "r", encoding="utf-8") as handle:
+                        existing = json.load(handle)
+                    if not isinstance(existing, dict):
+                        existing = {}
+                existing.update(dropped)
+                with open(sidecar, "w", encoding="utf-8") as handle:
+                    json.dump(existing, handle, indent=1, sort_keys=True)
+            except (OSError, ValueError) as error:
+                report.note(f"could not write quarantine sidecar: {error}")
+        payload: Dict[str, Any] = dict(valid)
+        payload[JOURNAL_META_KEY] = {
+            "engine": ENGINE_VERSION,
+            "checksum": state_checksum(valid),
+        }
+        temporary = path + ".fsck.tmp"
+        try:
+            with open(temporary, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            os.replace(temporary, path)
+        except OSError as error:
+            report.note(f"repair failed: {error}")
+        else:
+            report.quarantined += len(dropped)
+            report.repaired += len(dropped) + (0 if file_checksum_ok else 1)
+            report.note(f"rewrote journal with {len(valid)} verified entr(ies)")
+    return report
+
+
+__all__ = ["FsckReport", "fsck_checkpoint", "fsck_store"]

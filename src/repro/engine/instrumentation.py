@@ -92,7 +92,10 @@ class EngineStats:
         the rendered report is built from, so the two can never drift
         apart on naming again."""
         from repro.engine.cache import active_store, all_cache_stats
-        from repro.engine.checkpoint import dropped_flush_count
+        from repro.engine.checkpoint import (
+            corrupt_entry_count,
+            dropped_flush_count,
+        )
 
         counters: Dict[str, float] = {}
         for name, stats in sorted(self.phases.items()):
@@ -108,12 +111,16 @@ class EngineStats:
         if store is not None:
             counters.update(store.stats().counters())
         counters["checkpoint_dropped_flushes"] = dropped_flush_count()
+        counters["checkpoint_corrupt_entries"] = corrupt_entry_count()
         return counters
 
     def render(self) -> str:
         """A compact multi-line report (phases, caches, store, throughput)."""
         from repro.engine.cache import active_store, all_cache_stats
-        from repro.engine.checkpoint import dropped_flush_count
+        from repro.engine.checkpoint import (
+            corrupt_entry_count,
+            dropped_flush_count,
+        )
 
         lines: List[str] = ["engine stats:"]
         for name, stats in sorted(self.phases.items()):
@@ -135,6 +142,9 @@ class EngineStats:
         dropped = dropped_flush_count()
         if dropped:
             lines.append(f"  checkpoint flushes dropped {dropped:>6}")
+        corrupt = corrupt_entry_count()
+        if corrupt:
+            lines.append(f"  checkpoint entries corrupt {corrupt:>6}")
         if len(lines) == 1:
             lines.append("  (no engine activity recorded)")
         return "\n".join(lines)

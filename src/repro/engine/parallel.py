@@ -33,14 +33,18 @@ Rules that keep this safe and reproducible:
   the same task function, which is how serial/parallel equivalence is
   guaranteed by construction.
 
-Deterministic fault injection (tests only; the knobs act **inside
-workers only**, so parent-side recovery is never itself faulted):
+Deterministic fault injection (tests only; the ``worker.kill`` and
+``worker.delay`` points of the unified fault plane — see
+:mod:`repro.engine.faults` — act **inside workers only**, so
+parent-side recovery is never itself faulted):
 
-* ``REPRO_FAULT_KILL_TASK=<i>`` — the worker that picks up global task
-  index *i* SIGKILLs itself first (simulates the OOM killer);
-* ``REPRO_FAULT_DELAY_TASK=<i>:<seconds>`` (or ``*:<seconds>``) — the
-  worker sleeps before running the task (simulates a straggler; pair
-  with a small ``REPRO_TASK_TIMEOUT`` to exercise timeout recovery).
+* ``worker.kill`` (legacy alias ``REPRO_FAULT_KILL_TASK=<i>``) — the
+  worker that picks up the matching task SIGKILLs itself first
+  (simulates the OOM killer);
+* ``worker.delay`` (legacy alias ``REPRO_FAULT_DELAY_TASK=<i>:<s>`` or
+  ``*:<s>``) — the worker sleeps before running the task (simulates a
+  straggler; pair with a small ``REPRO_TASK_TIMEOUT`` to exercise
+  timeout recovery).
 """
 
 from __future__ import annotations
@@ -53,6 +57,7 @@ import time
 import warnings
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.engine import faults
 from repro.engine.budget import Budget, current_budget, install_budget
 from repro.engine.cache import flush_active_store
 from repro.engine.instrumentation import engine_stats
@@ -175,17 +180,11 @@ def default_task_timeout() -> Optional[float]:
 
 def _apply_fault_hooks(index: int) -> None:
     """Worker-side fault injection (see module docstring)."""
-    kill = os.environ.get("REPRO_FAULT_KILL_TASK")
-    if kill is not None and kill.lstrip("-").isdigit() and int(kill) == index:
+    if faults.fire("worker.kill", index=index) is not None:
         os.kill(os.getpid(), signal.SIGKILL)
-    delay = os.environ.get("REPRO_FAULT_DELAY_TASK")
-    if delay:
-        which, _, seconds = delay.partition(":")
-        try:
-            if which == "*" or int(which) == index:
-                time.sleep(float(seconds))
-        except ValueError:
-            pass
+    delay = faults.fire("worker.delay", index=index)
+    if delay is not None and delay.seconds > 0:
+        time.sleep(delay.seconds)
 
 
 def _supervised_call(batch: Sequence[Tuple[int, Any]]) -> List[Any]:

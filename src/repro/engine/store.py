@@ -23,6 +23,14 @@ Layering contract:
   (locked database, read-only filesystem, disk full) is swallowed and
   counted per direction (``store_write_errors`` / ``store_read_errors``
   in ``--engine-stats``), and the sweep proceeds on computation alone;
+* every row carries a SHA-256 **integrity checksum** (over cache name,
+  key digest, payload, and engine stamp — see :func:`entry_checksum`);
+  a row that fails verification or decoding is moved to a
+  ``quarantine`` table, counted (``store_integrity_errors`` /
+  ``store_quarantined``), and served as a miss, so a flipped bit or a
+  torn write degrades to recomputation, never to a wrong verdict.
+  ``python -m repro.cli fsck --store PATH`` audits and repairs offline
+  (:mod:`repro.engine.fsck`);
 * multi-process safety comes from SQLite itself (WAL journal, busy
   timeout, ``INSERT OR REPLACE`` upserts in short transactions) plus a
   fork guard: a connection is never used across a ``fork`` — workers
@@ -57,6 +65,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
 
+from repro.engine import faults
 from repro.engine.cache import (
     active_store,
     install_store,
@@ -67,7 +76,7 @@ from repro.engine.cache import (
 #: Bump whenever cache key derivation, canonical forms, or value
 #: codecs change semantics: a store written by another engine version
 #: is dropped on open, never reinterpreted.
-ENGINE_VERSION = "2026.08-pr6"
+ENGINE_VERSION = "2026.08-pr8"
 
 _BUSY_TIMEOUT_SECONDS = 5.0
 
@@ -154,6 +163,16 @@ def stable_digest(key: Any) -> str:
     return hashlib.sha256("\x1f".join(out).encode()).hexdigest()
 
 
+def entry_checksum(cache_name: str, digest: str, payload: str, engine: str) -> str:
+    """The per-row integrity checksum stored beside every entry.
+
+    Covers the cache name, the key digest, the encoded payload, *and*
+    the engine-version stamp, so a bit flip anywhere in a row — or a
+    row transplanted between caches or keys — fails verification."""
+    material = "\x1f".join((cache_name, digest, payload, engine))
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
 # -- value codecs ----------------------------------------------------------
 
 
@@ -199,6 +218,8 @@ class StoreStats:
     writes: int
     write_errors: int
     read_errors: int
+    integrity_errors: int
+    quarantined: int
     entries: int
 
     def counters(self) -> Dict[str, int]:
@@ -208,6 +229,8 @@ class StoreStats:
             "store_writes": self.writes,
             "store_write_errors": self.write_errors,
             "store_read_errors": self.read_errors,
+            "store_integrity_errors": self.integrity_errors,
+            "store_quarantined": self.quarantined,
             "store_entries": self.entries,
         }
 
@@ -220,6 +243,11 @@ class StoreStats:
             f"{self.writes} writes  {self.entries} entries"
             + (f"  {self.write_errors} write errors" if self.write_errors else "")
             + (f"  {self.read_errors} read errors" if self.read_errors else "")
+            + (
+                f"  {self.quarantined} quarantined"
+                if self.quarantined
+                else ""
+            )
         )
 
 
@@ -246,6 +274,8 @@ class VerdictStore:
         self.writes = 0
         self.write_errors = 0
         self.read_errors = 0
+        self.integrity_errors = 0
+        self.quarantined = 0
         self._pending: Dict[Tuple[str, str], str] = {}
         self._connection: Optional[sqlite3.Connection] = None
         self._pid = os.getpid()
@@ -284,6 +314,31 @@ class VerdictStore:
                     " cache TEXT NOT NULL,"
                     " key TEXT NOT NULL,"
                     " value TEXT NOT NULL,"
+                    " checksum TEXT NOT NULL DEFAULT '',"
+                    " engine TEXT NOT NULL DEFAULT '',"
+                    " PRIMARY KEY (cache, key))"
+                )
+                # Stores created before the integrity columns existed
+                # only lack the columns, not the data contract: the
+                # engine-version gate below drops their rows anyway.
+                columns = {
+                    row[1]
+                    for row in connection.execute("PRAGMA table_info(entries)")
+                }
+                for column in ("checksum", "engine"):
+                    if column not in columns:
+                        connection.execute(
+                            f"ALTER TABLE entries ADD COLUMN {column}"
+                            " TEXT NOT NULL DEFAULT ''"
+                        )
+                connection.execute(
+                    "CREATE TABLE IF NOT EXISTS quarantine ("
+                    " cache TEXT NOT NULL,"
+                    " key TEXT NOT NULL,"
+                    " value TEXT NOT NULL,"
+                    " checksum TEXT NOT NULL,"
+                    " engine TEXT NOT NULL,"
+                    " reason TEXT NOT NULL,"
                     " PRIMARY KEY (cache, key))"
                 )
                 connection.execute(
@@ -313,38 +368,94 @@ class VerdictStore:
         return cache_name in _CODECS
 
     def load(self, cache_name: str, key: Any) -> Tuple[bool, Any]:
-        """Probe the store for a memo key: ``(hit, decoded value)``."""
+        """Probe the store for a memo key: ``(hit, decoded value)``.
+
+        Rows read from disk are verified against their per-entry
+        checksum before decoding; any failure — torn value, flipped
+        bit, transplanted row, undecodable payload — quarantines the
+        row and is served as a miss, so the engine recomputes instead
+        of trusting (or crashing on) corrupt state."""
         codec = _CODECS.get(cache_name)
         if codec is None:
             return False, None
         self._fork_guard()
         digest = stable_digest(key)
         payload = self._pending.get((cache_name, digest))
+        from_disk = False
+        checksum = engine = ""
         if payload is None:
+            if faults.fire("store.read") is not None:
+                self.read_errors += 1
+                return False, None
             connection = self._connect()
             if connection is None:
                 self.read_errors += 1
                 return False, None
             try:
                 row = connection.execute(
-                    "SELECT value FROM entries WHERE cache = ? AND key = ?",
+                    "SELECT value, checksum, engine FROM entries"
+                    " WHERE cache = ? AND key = ?",
                     (cache_name, digest),
                 ).fetchone()
             except sqlite3.Error:
                 self.read_errors += 1
                 return False, None
-            payload = row[0] if row is not None else None
+            if row is not None:
+                payload, checksum, engine = row
+                from_disk = True
         if payload is None:
             self.misses += 1
+            return False, None
+        if from_disk and checksum != entry_checksum(
+            cache_name, digest, payload, engine
+        ):
+            self._degrade_corrupt(cache_name, digest, payload, "checksum mismatch")
             return False, None
         try:
             value = codec[1](payload)
         except Exception:
             # A corrupt entry is a miss, not a crash.
-            self.misses += 1
+            if from_disk:
+                self._degrade_corrupt(
+                    cache_name, digest, payload, "undecodable payload"
+                )
+            else:
+                self.misses += 1
             return False, None
         self.hits += 1
         return True, value
+
+    def _degrade_corrupt(
+        self, cache_name: str, digest: str, payload: str, reason: str
+    ) -> None:
+        """A corrupt on-disk row: count it, quarantine it, serve a miss.
+
+        The row is moved into the ``quarantine`` table (best effort —
+        a locked database just leaves it in place for the next probe or
+        ``fsck``), so corruption is never silently destroyed and never
+        served again."""
+        self.misses += 1
+        self.read_errors += 1
+        self.integrity_errors += 1
+        connection = self._connect()
+        if connection is None:
+            return
+        try:
+            with connection:
+                connection.execute(
+                    "INSERT OR REPLACE INTO quarantine"
+                    " (cache, key, value, checksum, engine, reason)"
+                    " SELECT cache, key, value, checksum, engine, ?"
+                    " FROM entries WHERE cache = ? AND key = ?",
+                    (reason, cache_name, digest),
+                )
+                connection.execute(
+                    "DELETE FROM entries WHERE cache = ? AND key = ?",
+                    (cache_name, digest),
+                )
+        except sqlite3.Error:
+            return
+        self.quarantined += 1
 
     def save(self, cache_name: str, key: Any, value: Any) -> None:
         """Enqueue a write-through entry; lands at the next flush."""
@@ -361,7 +472,9 @@ class VerdictStore:
         self._fork_guard()
         if not self._pending:
             return
-        connection = self._connect()
+        connection = None
+        if faults.fire("store.write") is None:
+            connection = self._connect()
         if connection is None:
             self.write_errors += 1
             # Keep the buffer bounded even when the disk is gone.
@@ -369,14 +482,21 @@ class VerdictStore:
                 self._pending.clear()
             return
         batch = [
-            (cache_name, digest, payload)
+            (
+                cache_name,
+                digest,
+                payload,
+                entry_checksum(cache_name, digest, payload, self.engine_version),
+                self.engine_version,
+            )
             for (cache_name, digest), payload in self._pending.items()
         ]
         try:
             with connection:
                 connection.executemany(
-                    "INSERT OR REPLACE INTO entries (cache, key, value)"
-                    " VALUES (?, ?, ?)",
+                    "INSERT OR REPLACE INTO entries"
+                    " (cache, key, value, checksum, engine)"
+                    " VALUES (?, ?, ?, ?, ?)",
                     batch,
                 )
         except sqlite3.Error:
@@ -406,6 +526,19 @@ class VerdictStore:
             return 0
         return int(row[0]) + len(self._pending)
 
+    def quarantine_count(self) -> int:
+        """Rows moved to the quarantine table (by loads or ``fsck``)."""
+        connection = self._connect()
+        if connection is None:
+            return 0
+        try:
+            row = connection.execute(
+                "SELECT COUNT(*) FROM quarantine"
+            ).fetchone()
+        except sqlite3.Error:
+            return 0
+        return int(row[0])
+
     def stats(self) -> StoreStats:
         return StoreStats(
             self.path,
@@ -414,6 +547,8 @@ class VerdictStore:
             self.writes,
             self.write_errors,
             self.read_errors,
+            self.integrity_errors,
+            self.quarantined,
             self.entry_count(),
         )
 
@@ -484,6 +619,7 @@ __all__ = [
     "StoreStats",
     "VerdictStore",
     "default_store",
+    "entry_checksum",
     "stable_digest",
     "use_store",
 ]

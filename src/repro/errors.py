@@ -111,6 +111,17 @@ class CompositionBudgetError(BudgetExceeded):
     many candidate intermediate instances."""
 
 
+class FaultSpecError(ReproError, ValueError):
+    """A fault-injection spec (``REPRO_FAULTS`` or a legacy
+    ``REPRO_FAULT_*`` knob) is malformed.
+
+    Raised eagerly — when the fault plane is first consulted — so a
+    typo in a chaos schedule aborts the run at startup instead of
+    silently injecting nothing.  ``context`` carries the offending
+    ``spec`` and, when applicable, the ``clause`` and ``point``.
+    """
+
+
 class ServiceError(ReproError, RuntimeError):
     """Root of the checking-service taxonomy (daemon, queue, client)."""
 
@@ -175,6 +186,7 @@ __all__ = [
     "ChaseError",
     "CompositionBudgetError",
     "DeadlineExceeded",
+    "FaultSpecError",
     "GOVERNED_KINDS",
     "JobNotFound",
     "MappingError",

@@ -8,7 +8,8 @@ the state directory's endpoint file (see
 
 Environment knobs (flags win): ``REPRO_SERVICE_HOST``,
 ``REPRO_SERVICE_PORT``, ``REPRO_SERVICE_MAX_JOBS``,
-``REPRO_SERVICE_JOB_DEADLINE``, ``REPRO_SERVICE_STATE``.
+``REPRO_SERVICE_JOB_DEADLINE``, ``REPRO_SERVICE_JOB_RETRIES``,
+``REPRO_SERVICE_STATE``.
 
 Exit codes mirror the CLI wherever a job reaches a terminal state:
 0 done / 1 violated / 3 partial / 4 faulted / 5 cancelled; 2 for
@@ -80,6 +81,7 @@ async def _serve(arguments: argparse.Namespace) -> int:
         state,
         max_jobs=arguments.max_jobs,
         job_deadline=arguments.job_deadline,
+        max_retries=arguments.job_retries,
     )
     requeued = queue.load()
     await queue.start()
@@ -294,6 +296,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="endpoint file, queue journal, and per-job checkpoint "
         "journals live here (REPRO_SERVICE_STATE, default .repro-service)",
+    )
+    serve.add_argument(
+        "--job-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="job_retries",
+        help="retries before a crashing job is quarantined as faulted "
+        "(REPRO_SERVICE_JOB_RETRIES, default 2)",
     )
     serve.add_argument("--drain-timeout", type=float, default=60.0)
     serve.add_argument("--workers", type=int, default=None, metavar="N")

@@ -75,6 +75,7 @@ class ServiceApp:
         self.port = port
         self.on_shutdown = on_shutdown
         self._server: Optional[asyncio.AbstractServer] = None
+        self._started_at: Optional[float] = None
 
     @property
     def endpoint_path(self) -> str:
@@ -85,6 +86,7 @@ class ServiceApp:
             self._handle, host=self.host, port=self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
         with open(self.endpoint_path, "w", encoding="utf-8") as handle:
             json.dump(
                 {
@@ -191,7 +193,17 @@ class ServiceApp:
     ) -> Tuple[Optional[int], Any]:
         try:
             if path == "/healthz" and method == "GET":
-                return 200, {"ok": True, "pid": os.getpid()}
+                # Always HTTP 200 — ``ready: false`` (drain in progress)
+                # is a payload-level signal so dumb probes stay simple.
+                payload = {
+                    "ok": True,
+                    "pid": os.getpid(),
+                    "ready": not getattr(self.queue, "draining", False),
+                    "jobs": len(self.queue.records()),
+                }
+                if self._started_at is not None:
+                    payload["uptime"] = max(0.0, time.time() - self._started_at)
+                return 200, payload
             if path == "/stats" and method == "GET":
                 return 200, self.queue.stats()
             if path == "/jobs" and method == "POST":
@@ -240,6 +252,9 @@ class ServiceApp:
                 await self.queue.wait(job_id, timeout=wait)
             payload = record.to_json()
             payload["http_status"] = STATE_HTTP_STATUS[record.state]
+            if not record.terminal:
+                # Self-healing clients honour this instead of hot-polling.
+                payload["retry_after"] = 0.5
             return STATE_HTTP_STATUS[record.state], payload
         if action == "events" and method == "GET":
             await self._stream_events(record, writer)

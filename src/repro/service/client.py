@@ -7,20 +7,78 @@ endpoint file a running daemon writes into its state directory
 ``.repro-service``).  Connection failures raise
 :class:`~repro.errors.ServiceUnavailable` so callers can distinguish
 "daemon down" from job-level failures.
+
+Self-healing transport: every request is retried on transport failure
+with exponential backoff and jitter (``REPRO_CLIENT_RETRIES`` /
+``REPRO_CLIENT_BACKOFF`` / ``REPRO_CLIENT_BACKOFF_MAX``), which is
+safe because every verb is idempotent — submissions are deduplicated
+by their content-addressed job key, so re-sending a submit whose
+response was lost re-attaches to the same in-flight job.  A circuit
+breaker (``REPRO_CLIENT_BREAKER_THRESHOLD`` consecutive failures
+opens it for ``REPRO_CLIENT_BREAKER_COOLDOWN`` seconds, then one
+half-open probe) keeps a dead daemon from soaking every caller in
+full retry cycles.  Retries, breaker trips, and rejections are
+counted on :func:`~repro.engine.instrumentation.engine_stats`
+(``client_retries`` / ``client_breaker_trips`` / ...).
+
+The ``client.drop`` / ``client.reset`` points of the unified fault
+plane (:mod:`repro.engine.faults`) inject transport failures before
+the request is sent and after the server has acted, respectively —
+the latter exercises exactly the lost-response window the idempotency
+guarantee exists for.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, Iterator, Optional, Tuple
 
-from repro.errors import JobNotFound, ServiceProtocolError, ServiceUnavailable
+from repro.engine import faults
+from repro.engine.instrumentation import engine_stats
+from repro.errors import (
+    JobNotFound,
+    ServiceError,
+    ServiceProtocolError,
+    ServiceUnavailable,
+)
 
 DEFAULT_STATE_DIR = ".repro-service"
+
+#: The result-poll loop never sleeps less than this, even when the
+#: wait deadline is imminent — polling at 10ms turns "almost done"
+#: into a hot loop against the daemon.
+POLL_FLOOR_SECONDS = 0.05
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+        if value < 0:
+            raise ValueError(raw)
+    except ValueError:
+        raise ServiceError(f"{name}={raw!r} is not a non-negative integer")
+    return value
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+        if value < 0:
+            raise ValueError(raw)
+    except ValueError:
+        raise ServiceError(f"{name}={raw!r} is not a non-negative number")
+    return value
 
 
 def state_dir(explicit: Optional[str] = None) -> str:
@@ -49,11 +107,51 @@ def discover_endpoint(
 
 
 class ServiceClient:
-    """Synchronous JSON-over-HTTP client for one daemon endpoint."""
+    """Synchronous JSON-over-HTTP client for one daemon endpoint.
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    See the module docstring for the retry / circuit-breaker contract.
+    Pass ``retries=0`` to restore single-shot behaviour, and
+    ``jitter_seed`` for a deterministic backoff schedule in tests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+        backoff_max: Optional[float] = None,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown: Optional[float] = None,
+        jitter_seed: Optional[int] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = (
+            _env_int("REPRO_CLIENT_RETRIES", 3) if retries is None else retries
+        )
+        self.backoff = (
+            _env_float("REPRO_CLIENT_BACKOFF", 0.1) if backoff is None else backoff
+        )
+        self.backoff_max = (
+            _env_float("REPRO_CLIENT_BACKOFF_MAX", 2.0)
+            if backoff_max is None
+            else backoff_max
+        )
+        self.breaker_threshold = (
+            _env_int("REPRO_CLIENT_BREAKER_THRESHOLD", 5)
+            if breaker_threshold is None
+            else breaker_threshold
+        )
+        self.breaker_cooldown = (
+            _env_float("REPRO_CLIENT_BREAKER_COOLDOWN", 5.0)
+            if breaker_cooldown is None
+            else breaker_cooldown
+        )
+        self._rng = random.Random(jitter_seed)
+        self._consecutive_failures = 0
+        self._breaker_open_until = 0.0
 
     # -- transport ---------------------------------------------------
 
@@ -65,9 +163,37 @@ class ServiceClient:
         *,
         timeout: Optional[float] = None,
     ) -> Tuple[int, Any]:
-        """One request; returns ``(http_status, decoded_json)``.
+        """One logical request; returns ``(http_status, decoded_json)``.
         Non-2xx statuses are returned, not raised — the service uses
-        them to carry job states (422/206/424/410)."""
+        them to carry job states (422/206/424/410).  Transport
+        failures are retried with backoff; when the breaker is open or
+        every attempt fails, :class:`ServiceUnavailable` propagates."""
+        attempts = max(0, int(self.retries)) + 1
+        for attempt in range(1, attempts + 1):
+            self._check_breaker()
+            try:
+                result = self._request_once(method, path, payload, timeout)
+            except ServiceUnavailable:
+                self._record_failure()
+                if attempt >= attempts:
+                    raise
+                self._sleep_backoff(attempt)
+                continue
+            self._record_success()
+            return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: Any,
+        timeout: Optional[float],
+    ) -> Tuple[int, Any]:
+        if faults.fire("client.drop") is not None:
+            raise ServiceUnavailable(
+                f"injected connection drop to {self.base_url}"
+            )
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -80,18 +206,81 @@ class ServiceClient:
             with urllib.request.urlopen(
                 request, timeout=timeout or self.timeout
             ) as response:
-                return response.status, _decode(response.read())
+                status, decoded = response.status, _decode(response.read())
         except urllib.error.HTTPError as error:
-            return error.code, _decode(error.read())
+            status, decoded = error.code, _decode(error.read())
         except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
             raise ServiceUnavailable(
                 f"cannot reach service at {self.base_url}: {error}"
             ) from error
+        if faults.fire("client.reset") is not None:
+            # The server processed the request; the response was lost
+            # on the wire.  Retrying is safe only because every verb
+            # is idempotent — which is exactly what this point tests.
+            raise ServiceUnavailable(
+                f"injected connection reset from {self.base_url}"
+            )
+        return status, decoded
+
+    # -- retry / circuit-breaker machinery ---------------------------
+
+    def _check_breaker(self) -> None:
+        remaining = self._breaker_open_until - time.monotonic()
+        if remaining > 0:
+            engine_stats().bump("client_breaker_rejections")
+            raise ServiceUnavailable(
+                f"circuit breaker open for {self.base_url} "
+                f"({remaining:.1f}s of cooldown remaining)"
+            )
+
+    def _record_failure(self) -> None:
+        self._consecutive_failures += 1
+        engine_stats().bump("client_request_failures")
+        if (
+            self.breaker_threshold > 0
+            and self._consecutive_failures >= self.breaker_threshold
+        ):
+            # Open (or re-open after a failed half-open probe): the
+            # cooldown expiring readmits exactly one probe request.
+            self._breaker_open_until = time.monotonic() + self.breaker_cooldown
+            engine_stats().bump("client_breaker_trips")
+
+    def _record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._breaker_open_until = 0.0
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        base = min(self.backoff * (2 ** (attempt - 1)), self.backoff_max)
+        engine_stats().bump("client_retries")
+        # Equal jitter: at least half the exponential delay, never more
+        # than all of it, so synchronized clients fan out.
+        time.sleep(base * (0.5 + 0.5 * self._rng.random()))
 
     # -- the protocol surface ----------------------------------------
 
     def health(self) -> Dict[str, Any]:
         return self._expect(200, *self.request("GET", "/healthz"))
+
+    def wait_ready(
+        self, timeout: float = 10.0, *, poll: float = 0.1
+    ) -> Dict[str, Any]:
+        """Block until ``/healthz`` reports readiness (or *timeout*).
+
+        Used after (re)starting a daemon: a booting or draining daemon
+        answers ``ready: false`` while it cannot accept work."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                health = self.health()
+                if health.get("ready", True):
+                    return health
+            except ServiceUnavailable:
+                pass
+            if time.monotonic() >= deadline:
+                raise ServiceUnavailable(
+                    f"service at {self.base_url} not ready after {timeout}s"
+                )
+            time.sleep(max(POLL_FLOOR_SECONDS, poll))
 
     def stats(self) -> Dict[str, Any]:
         return self._expect(200, *self.request("GET", "/stats"))
@@ -116,7 +305,12 @@ class ServiceClient:
     ) -> Tuple[int, Dict[str, Any]]:
         """``(http_status, job_json)`` of ``/result``; with *wait* > 0
         polls (server-side long poll + client retry) until the job is
-        terminal or the wait budget runs out."""
+        terminal or the wait budget runs out.
+
+        Between polls the client honours the server's ``retry_after``
+        hint when one comes back with the 202, and never sleeps below
+        :data:`POLL_FLOOR_SECONDS` — a nearly-expired wait budget must
+        not degenerate into a hot poll loop against the daemon."""
         deadline = time.monotonic() + wait
         while True:
             remaining = max(0.0, deadline - time.monotonic())
@@ -129,7 +323,11 @@ class ServiceClient:
                 raise JobNotFound(_error_of(body))
             if status != 202 or remaining <= 0:
                 return status, body
-            time.sleep(min(poll, max(remaining, 0.01)))
+            delay = poll
+            hint = body.get("retry_after") if isinstance(body, dict) else None
+            if isinstance(hint, (int, float)) and hint > 0:
+                delay = float(hint)
+            time.sleep(max(POLL_FLOOR_SECONDS, min(delay, remaining)))
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         status, body = self.request("POST", f"/jobs/{job_id}/cancel")
@@ -181,4 +379,10 @@ def _error_of(body: Any) -> str:
     return str(body)
 
 
-__all__ = ["DEFAULT_STATE_DIR", "ServiceClient", "discover_endpoint", "state_dir"]
+__all__ = [
+    "DEFAULT_STATE_DIR",
+    "POLL_FLOOR_SECONDS",
+    "ServiceClient",
+    "discover_endpoint",
+    "state_dir",
+]

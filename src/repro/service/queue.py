@@ -26,6 +26,20 @@ Lifecycle around restarts:
 * a restarted daemon re-enqueues those records; their sweeps resume
   from the journal's verified prefix (reported as ``resumed_prefix``
   on the job).
+
+Crash hardening (the self-healing loop):
+
+* ``jobs.json`` carries a ``clean`` marker written only by a graceful
+  drain; a daemon that loads an *unclean* journal knows its requeued
+  jobs already crashed mid-run and charges each one an attempt;
+* a job whose execution raises (or that keeps crashing the daemon)
+  is retried up to ``max_retries`` times (``REPRO_SERVICE_JOB_RETRIES``,
+  default 2); past that it is a *poison job* — finalized ``faulted``
+  with ``quarantined: true`` so it can never crash-loop the daemon;
+* the ``daemon.kill`` fault point (see :mod:`repro.engine.faults`)
+  SIGKILLs the daemon at the two nastiest moments — just before a job
+  executes and just before its outcome is finalized — which is what
+  the chaos tests use to prove the above actually converges.
 """
 
 from __future__ import annotations
@@ -33,15 +47,17 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.engine import faults
 from repro.engine.budget import Budget
 from repro.engine.cache import flush_active_store
-from repro.engine.checkpoint import CheckpointJournal
+from repro.engine.checkpoint import JOURNAL_META_KEY, CheckpointJournal
 from repro.engine.instrumentation import engine_stats
-from repro.errors import JobNotFound
+from repro.errors import JobNotFound, ServiceError
 from repro.service.jobs import JobOutcome, budget_for, execute_job
 from repro.service.protocol import (
     STATE_CANCELLED,
@@ -60,6 +76,21 @@ def _now() -> float:
     return time.time()
 
 
+def _default_job_retries() -> int:
+    raw = os.environ.get("REPRO_SERVICE_JOB_RETRIES", "").strip()
+    if not raw:
+        return 2
+    try:
+        value = int(raw)
+        if value < 0:
+            raise ValueError
+    except ValueError:
+        raise ServiceError(
+            f"REPRO_SERVICE_JOB_RETRIES={raw!r} is not a non-negative integer"
+        )
+    return value
+
+
 @dataclass
 class JobRecord:
     """One submitted job, from queue to terminal state."""
@@ -75,6 +106,8 @@ class JobRecord:
     events: List[Dict[str, Any]] = field(default_factory=list)
     dedup_count: int = 0
     resumed_prefix: int = 0
+    attempts: int = 0
+    quarantined: bool = False
     cancel_requested: bool = False
     interrupted: bool = False
     budget: Optional[Budget] = None
@@ -102,6 +135,8 @@ class JobRecord:
             "exit_code": self.exit_code(),
             "deduplicated": self.dedup_count,
             "resumed_prefix": self.resumed_prefix,
+            "attempts": self.attempts,
+            "quarantined": self.quarantined,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -126,7 +161,9 @@ def journal_progress(path: str) -> int:
     if not isinstance(data, dict):
         return 0
     progress = 0
-    for entry in data.values():
+    for key, entry in data.items():
+        if key == JOURNAL_META_KEY:
+            continue
         if isinstance(entry, dict) and not entry.get("complete"):
             try:
                 progress += int(entry.get("verified_upto", 0) or 0)
@@ -146,10 +183,14 @@ class JobQueue:
         *,
         max_jobs: int = 2,
         job_deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
     ) -> None:
         self.state_dir = state_dir
         self.max_jobs = max(1, int(max_jobs))
         self.job_deadline = job_deadline
+        self.max_retries = (
+            _default_job_retries() if max_retries is None else max(0, int(max_retries))
+        )
         self.started_at = _now()
         self._jobs: Dict[str, JobRecord] = {}
         self._active_by_key: Dict[str, JobRecord] = {}
@@ -158,6 +199,11 @@ class JobQueue:
         self._counter = 0
         self._draining = False
         os.makedirs(state_dir, exist_ok=True)
+
+    @property
+    def draining(self) -> bool:
+        """True once a graceful drain has begun (``/healthz`` readiness)."""
+        return self._draining
 
     # -- persistence -------------------------------------------------
 
@@ -168,7 +214,7 @@ class JobQueue:
     def checkpoint_path(self, key: str) -> str:
         return os.path.join(self.state_dir, f"job-{key[:32]}.ckpt.json")
 
-    def _persist(self) -> None:
+    def _persist(self, *, clean: bool = False) -> None:
         entries = []
         for record in self._jobs.values():
             entry: Dict[str, Any] = {
@@ -178,6 +224,8 @@ class JobQueue:
                 "state": record.state if record.terminal else STATE_QUEUED,
                 "submitted_at": record.submitted_at,
                 "dedup_count": record.dedup_count,
+                "attempts": record.attempts,
+                "quarantined": record.quarantined,
             }
             if record.outcome is not None and record.terminal:
                 entry["outcome"] = record.outcome.to_json()
@@ -185,7 +233,10 @@ class JobQueue:
         temp = self.journal_path + ".tmp"
         try:
             with open(temp, "w", encoding="utf-8") as handle:
-                json.dump({"jobs": entries}, handle)
+                # ``clean`` is True only for the drain-path write; a
+                # journal found without it was left by a crash, and
+                # every requeued job is charged an attempt on load.
+                json.dump({"jobs": entries, "clean": clean}, handle)
             os.replace(temp, self.journal_path)
         except OSError:
             try:
@@ -196,13 +247,17 @@ class JobQueue:
     def load(self) -> int:
         """Restore records from a previous daemon's queue journal.
         Non-terminal jobs come back as ``queued`` (their checkpoint
-        journals make the re-run a resume).  Returns how many were
+        journals make the re-run a resume).  After an *unclean*
+        shutdown each requeued job is charged an attempt; one over its
+        retry budget is quarantined as ``faulted`` instead of being
+        allowed to crash-loop the daemon.  Returns how many were
         re-queued."""
         try:
             with open(self.journal_path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
         except (OSError, ValueError):
             return 0
+        was_clean = bool(data.get("clean", True))
         requeued = 0
         for entry in data.get("jobs", []):
             try:
@@ -213,6 +268,8 @@ class JobQueue:
                     state=str(entry["state"]),
                     submitted_at=float(entry.get("submitted_at", _now())),
                     dedup_count=int(entry.get("dedup_count", 0)),
+                    attempts=int(entry.get("attempts", 0)),
+                    quarantined=bool(entry.get("quarantined", False)),
                 )
             except (KeyError, TypeError, ValueError):
                 continue
@@ -232,12 +289,25 @@ class JobQueue:
                 record.done.set()
                 record.add_event("restored", state=record.state)
             else:
-                record.state = STATE_QUEUED
-                record.add_event("requeued")
-                self._active_by_key[record.key] = record
-                requeued += 1
+                if not was_clean:
+                    record.attempts += 1
+                if record.attempts > self.max_retries:
+                    self._quarantine(
+                        record, f"crashed the daemon {record.attempts} time(s)"
+                    )
+                else:
+                    record.state = STATE_QUEUED
+                    record.add_event("requeued", attempts=record.attempts)
+                    self._active_by_key[record.key] = record
+                    requeued += 1
             self._jobs[record.job_id] = record
             self._counter = max(self._counter, _id_counter(record.job_id))
+        if self._jobs:
+            # Land the charged attempts (and any load-time quarantines)
+            # back on disk *now*: if the requeued job kills the daemon
+            # again before anything else persists, the next restart
+            # must see the higher count or the crash loop never ends.
+            self._persist()
         return requeued
 
     # -- lifecycle ---------------------------------------------------
@@ -269,7 +339,7 @@ class JobQueue:
             worker.cancel()
         await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
-        self._persist()
+        self._persist(clean=True)
         flush_active_store()
 
     # -- submission and queries --------------------------------------
@@ -347,6 +417,9 @@ class JobQueue:
             "dedup_hits": stats.counter("service_dedup_hits"),
             "jobs_submitted": stats.counter("service_jobs_submitted"),
             "jobs_executed": stats.counter("service_jobs_executed"),
+            "job_retries": stats.counter("service_job_retries"),
+            "jobs_quarantined": stats.counter("service_jobs_quarantined"),
+            "max_retries": self.max_retries,
             "engine": stats.counters(),
         }
 
@@ -366,13 +439,31 @@ class JobQueue:
                 raise
             except BaseException as error:
                 # Belt and braces: a job must never wedge its worker.
-                record.outcome = JobOutcome(
-                    state=STATE_FAULTED,
-                    exit_code=exit_code_for(STATE_FAULTED),
-                    rendering=f"error: {type(error).__name__}: {error}",
-                    coverage="faulted",
-                )
-                self._finalize(record, STATE_FAULTED)
+                # Transient wreckage gets retried on its per-job budget;
+                # a job still failing past that is poison — quarantine
+                # it so it cannot crash-loop the daemon.
+                record.attempts += 1
+                record.budget = None
+                if record.attempts <= self.max_retries:
+                    record.state = STATE_QUEUED
+                    record.add_event(
+                        "retried",
+                        attempts=record.attempts,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                    engine_stats().bump("service_job_retries")
+                    self._pending.put_nowait(record.job_id)
+                    self._persist()
+                else:
+                    record.outcome = JobOutcome(
+                        state=STATE_FAULTED,
+                        exit_code=exit_code_for(STATE_FAULTED),
+                        rendering=f"error: {type(error).__name__}: {error}",
+                        coverage="faulted",
+                    )
+                    self._quarantine(
+                        record, f"failed {record.attempts} time(s): {error}"
+                    )
 
     async def _run_job(self, record: JobRecord) -> None:
         record.state = STATE_RUNNING
@@ -387,9 +478,13 @@ class JobQueue:
             record.add_event("resumed", prefix=resumed)
         journal = CheckpointJournal(ckpt_path, resume=True)
         engine_stats().bump("service_jobs_executed")
+        if faults.fire("daemon.kill") is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
         outcome = await asyncio.to_thread(
             execute_job, record.spec, budget=budget, checkpoint=journal
         )
+        if faults.fire("daemon.kill") is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
         record.budget = None
         if record.cancel_requested:
             record.outcome = outcome
@@ -405,6 +500,22 @@ class JobQueue:
         else:
             record.outcome = outcome
             self._finalize(record, outcome.state)
+
+    def _quarantine(self, record: JobRecord, reason: str) -> None:
+        """Poison-job exit: finalize ``faulted`` with the quarantine
+        flag set so restarts and operators can tell it apart from an
+        ordinary fault."""
+        record.quarantined = True
+        record.add_event("quarantined", reason=reason)
+        if record.outcome is None:
+            record.outcome = JobOutcome(
+                state=STATE_FAULTED,
+                exit_code=exit_code_for(STATE_FAULTED),
+                rendering=f"quarantined: {reason}",
+                coverage="faulted",
+            )
+        engine_stats().bump("service_jobs_quarantined")
+        self._finalize(record, STATE_FAULTED)
 
     def _finalize(self, record: JobRecord, state: str) -> None:
         record.state = state

@@ -19,6 +19,7 @@ from repro.engine import (
     cached_chase_result,
     canonical_key,
     default_store,
+    engine_stats,
     reset_all_caches,
     shard_of_instance,
     stable_digest,
@@ -132,6 +133,9 @@ class TestVerdictStore:
         reopened = VerdictStore(path)
         hit, _ = reopened.load("chase", ("k",))
         assert not hit
+        assert reopened.read_errors == 1
+        assert reopened.integrity_errors == 1
+        assert reopened.quarantine_count() == 1
 
     def test_unusable_path_is_counted_not_raised(self, tmp_path):
         store = VerdictStore(tmp_path / "no" / "such" / "dir" / "s.sqlite")
@@ -165,6 +169,156 @@ class TestVerdictStore:
         assert store.load("verdict", ("child",)) == (True, True)
         hit, _ = store.load("verdict", ("parent",))
         assert not hit  # the parent flushes its own buffer itself
+
+
+class TestIntegrityFuzz:
+    """Fuzzed on-disk corruption: every mangled row must read as a
+    miss (recompute), increment the read/integrity counters, and land
+    in quarantine — never crash, never serve a stale verdict."""
+
+    def _seeded_store(self, path, n=12):
+        store = VerdictStore(path)
+        values = {}
+        for i in range(n):
+            if i % 2:
+                cache_name, value = "verdict", bool(i % 3)
+            else:
+                cache_name = "chase"
+                value = Instance.build({"P": [(f"a{i}", Null(f"n{i}"))]})
+            memo_key = (f"k{i}",)
+            store.save(cache_name, memo_key, value)
+            values[(cache_name, memo_key)] = value
+        store.close()
+        return values
+
+    def _mangle(self, path, seed):
+        """Corrupt a deterministic subset of rows four different ways;
+        returns the number of rows touched."""
+        import random
+        import sqlite3
+
+        rng = random.Random(seed)
+        connection = sqlite3.connect(path)
+        rows = connection.execute(
+            "SELECT cache, key, value FROM entries ORDER BY cache, key"
+        ).fetchall()
+        victims = rng.sample(rows, k=max(4, len(rows) // 3))
+        with connection:
+            for which, (cache_name, digest, payload) in enumerate(victims):
+                if which % 4 == 0 and len(payload) > 1:  # bit flip
+                    pos = rng.randrange(len(payload))
+                    flipped = (
+                        payload[:pos]
+                        + chr(ord(payload[pos]) ^ 1)
+                        + payload[pos + 1:]
+                    )
+                    connection.execute(
+                        "UPDATE entries SET value = ?"
+                        " WHERE cache = ? AND key = ?",
+                        (flipped, cache_name, digest),
+                    )
+                elif which % 4 == 1:  # truncation (torn write)
+                    connection.execute(
+                        "UPDATE entries SET value = substr(value, 1, 2)"
+                        " WHERE cache = ? AND key = ?",
+                        (cache_name, digest),
+                    )
+                elif which % 4 == 2:  # checksum scribbled over
+                    connection.execute(
+                        "UPDATE entries SET checksum = 'deadbeef'"
+                        " WHERE cache = ? AND key = ?",
+                        (cache_name, digest),
+                    )
+                else:  # engine stamp transplanted
+                    connection.execute(
+                        "UPDATE entries SET engine = 'other-engine'"
+                        " WHERE cache = ? AND key = ?",
+                        (cache_name, digest),
+                    )
+        connection.close()
+        return len(victims)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fuzzed_corruption_degrades_to_recompute(self, tmp_path, seed):
+        path = tmp_path / "s.sqlite"
+        values = self._seeded_store(path)
+        mangled = self._mangle(path, seed)
+        store = VerdictStore(path)
+        hits = corrupt = 0
+        for (cache_name, memo_key), expected in values.items():
+            hit, value = store.load(cache_name, memo_key)
+            if hit:
+                hits += 1
+                assert value == expected  # never a wrong verdict
+            else:
+                corrupt += 1
+        assert corrupt >= 1  # the fuzzer did real damage
+        assert hits + corrupt == len(values)
+        assert store.read_errors == corrupt
+        assert store.integrity_errors == corrupt
+        assert store.quarantine_count() == corrupt
+        assert store.stats().counters()["store_integrity_errors"] == corrupt
+        assert corrupt <= mangled  # 1-char verdicts make bit flips no-ops
+
+        # Recompute-and-repopulate: the same keys store and serve again.
+        for (cache_name, memo_key), expected in values.items():
+            store.save(cache_name, memo_key, expected)
+        store.flush()
+        for (cache_name, memo_key), expected in values.items():
+            assert store.load(cache_name, memo_key) == (True, expected)
+        store.close()
+
+    def test_quarantine_preserves_the_corrupt_row(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "s.sqlite"
+        store = VerdictStore(path)
+        store.save("verdict", ("k",), True)
+        store.close()
+        connection = sqlite3.connect(path)
+        with connection:
+            connection.execute("UPDATE entries SET checksum = 'scribble'")
+        connection.close()
+        reopened = VerdictStore(path)
+        hit, _ = reopened.load("verdict", ("k",))
+        assert not hit
+        connection = sqlite3.connect(path)
+        rows = connection.execute(
+            "SELECT checksum, reason FROM quarantine"
+        ).fetchall()
+        remaining = connection.execute(
+            "SELECT COUNT(*) FROM entries"
+        ).fetchone()[0]
+        connection.close()
+        assert rows == [("scribble", "checksum mismatch")]
+        assert remaining == 0  # moved, not copied
+
+    def test_store_read_fault_point_is_a_counted_miss(self, tmp_path):
+        from repro.engine import fault_scope
+
+        engine_stats().reset()
+        store = VerdictStore(tmp_path / "s.sqlite")
+        store.save("verdict", ("k",), True)
+        store.flush()
+        with fault_scope("store.read:at=1"):
+            hit, _ = store.load("verdict", ("k",))
+            assert not hit
+            assert store.read_errors == 1
+            assert store.load("verdict", ("k",)) == (True, True)
+        assert engine_stats().counter("fault_store_read") == 1
+
+    def test_store_write_fault_point_rebuffers_entries(self, tmp_path):
+        from repro.engine import fault_scope
+
+        store = VerdictStore(tmp_path / "s.sqlite")
+        store.save("verdict", ("k",), True)
+        with fault_scope("store.write:at=1"):
+            store.flush()
+            assert store.write_errors == 1
+            assert store.writes == 0
+            store.flush()  # second attempt lands
+            assert store.writes == 1
+        assert store.load("verdict", ("k",)) == (True, True)
 
 
 class TestStoreBackedCaches:

@@ -1,0 +1,249 @@
+"""The self-healing client transport, without a daemon.
+
+Everything here runs against a port that is guaranteed closed (or a
+monkeypatched transport), so the retry loop, the circuit breaker, the
+backoff schedule, and the poll floor are tested in isolation; the
+chaos suite exercises the same machinery against a live daemon.
+"""
+
+import socket
+import time
+
+import pytest
+
+import repro.service.client as client_module
+from repro.engine import engine_stats, fault_scope, reset_engine_stats
+from repro.errors import ServiceError, ServiceUnavailable
+from repro.service.client import POLL_FLOOR_SECONDS, ServiceClient
+
+
+@pytest.fixture(autouse=True)
+def _clean_stats():
+    reset_engine_stats()
+    yield
+    reset_engine_stats()
+
+
+@pytest.fixture
+def dead_endpoint():
+    """A URL nothing listens on (bind, learn the port, close)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return f"http://127.0.0.1:{port}"
+
+
+def _fast_client(dead_endpoint, **overrides):
+    options = dict(
+        timeout=0.5,
+        retries=2,
+        backoff=0.001,
+        backoff_max=0.002,
+        breaker_threshold=0,  # disabled unless a test opts in
+        jitter_seed=7,
+    )
+    options.update(overrides)
+    return ServiceClient(dead_endpoint, **options)
+
+
+class TestRetries:
+    def test_every_attempt_fails_then_raises(self, dead_endpoint):
+        client = _fast_client(dead_endpoint, retries=2)
+        with pytest.raises(ServiceUnavailable):
+            client.request("GET", "/healthz")
+        assert engine_stats().counter("client_retries") == 2
+        assert engine_stats().counter("client_request_failures") == 3
+
+    def test_retries_zero_is_single_shot(self, dead_endpoint):
+        client = _fast_client(dead_endpoint, retries=0)
+        with pytest.raises(ServiceUnavailable):
+            client.request("GET", "/healthz")
+        assert engine_stats().counter("client_retries") == 0
+        assert engine_stats().counter("client_request_failures") == 1
+
+    def test_injected_drop_consumes_one_retry(self, dead_endpoint, monkeypatch):
+        calls = []
+
+        def fake_once(method, path, payload, timeout):
+            if client_module.faults.fire("client.drop") is not None:
+                raise ServiceUnavailable("injected connection drop")
+            calls.append(path)
+            return 200, {"ok": True}
+
+        client = _fast_client(dead_endpoint, retries=1)
+        monkeypatch.setattr(client, "_request_once", fake_once)
+        with fault_scope("client.drop:at=1"):
+            status, body = client.request("GET", "/healthz")
+        assert status == 200 and calls == ["/healthz"]
+        assert engine_stats().counter("fault_client_drop") == 1
+        assert engine_stats().counter("client_retries") == 1
+
+    def test_backoff_schedule_is_deterministic_with_seed(
+        self, dead_endpoint, monkeypatch
+    ):
+        schedules = []
+        for _ in range(2):
+            sleeps = []
+            monkeypatch.setattr(
+                client_module.time, "sleep", lambda s: sleeps.append(s)
+            )
+            client = ServiceClient(
+                dead_endpoint,
+                timeout=0.5,
+                retries=3,
+                backoff=0.1,
+                backoff_max=0.25,
+                breaker_threshold=0,
+                jitter_seed=42,
+            )
+            with pytest.raises(ServiceUnavailable):
+                client.request("GET", "/healthz")
+            monkeypatch.undo()
+            schedules.append(sleeps)
+        first, second = schedules
+        assert first == second  # same seed, same jitter
+        assert len(first) == 3
+        # Equal jitter keeps each delay within [base/2, base], and the
+        # exponential base is capped by backoff_max.
+        for delay, base in zip(first, (0.1, 0.2, 0.25)):
+            assert base / 2 <= delay <= base
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_rejects_fast(self, dead_endpoint):
+        client = _fast_client(
+            dead_endpoint, retries=0, breaker_threshold=2, breaker_cooldown=60.0
+        )
+        for _ in range(2):
+            with pytest.raises(ServiceUnavailable):
+                client.request("GET", "/healthz")
+        assert engine_stats().counter("client_breaker_trips") == 1
+        started = time.monotonic()
+        with pytest.raises(ServiceUnavailable, match="circuit breaker open"):
+            client.request("GET", "/healthz")
+        assert time.monotonic() - started < 0.1  # no network attempt
+        assert engine_stats().counter("client_breaker_rejections") == 1
+        assert engine_stats().counter("client_request_failures") == 2
+
+    def test_half_open_probe_after_cooldown_can_retrip(self, dead_endpoint):
+        client = _fast_client(
+            dead_endpoint, retries=0, breaker_threshold=2, breaker_cooldown=0.05
+        )
+        for _ in range(2):
+            with pytest.raises(ServiceUnavailable):
+                client.request("GET", "/healthz")
+        time.sleep(0.06)
+        # Cooldown expired: exactly one probe goes to the network,
+        # fails, and re-opens the breaker immediately.
+        with pytest.raises(ServiceUnavailable):
+            client.request("GET", "/healthz")
+        assert engine_stats().counter("client_request_failures") == 3
+        assert engine_stats().counter("client_breaker_trips") == 2
+        with pytest.raises(ServiceUnavailable, match="circuit breaker open"):
+            client.request("GET", "/healthz")
+
+    def test_success_resets_the_failure_streak(self, dead_endpoint, monkeypatch):
+        client = _fast_client(
+            dead_endpoint, retries=0, breaker_threshold=2, breaker_cooldown=60.0
+        )
+        with pytest.raises(ServiceUnavailable):
+            client.request("GET", "/healthz")
+        monkeypatch.setattr(
+            client, "_request_once", lambda *a: (200, {"ok": True})
+        )
+        assert client.request("GET", "/healthz") == (200, {"ok": True})
+        monkeypatch.undo()
+        # The earlier failure no longer counts toward the threshold.
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.request("GET", "/healthz")
+        assert "circuit breaker" not in str(excinfo.value)
+        assert engine_stats().counter("client_breaker_trips") == 0
+
+
+class TestResultPolling:
+    def _poll_transcript(self, monkeypatch, responses, **result_kwargs):
+        """Run ``result()`` against canned 202/200 responses, recording
+        every sleep; returns (status, body, sleeps)."""
+        client = ServiceClient("http://example.invalid", retries=0)
+        replies = list(responses)
+        monkeypatch.setattr(
+            client, "request", lambda *a, **k: replies.pop(0)
+        )
+        sleeps = []
+        monkeypatch.setattr(
+            client_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        status, body = client.result("j1", **result_kwargs)
+        monkeypatch.undo()
+        return status, body, sleeps
+
+    def test_poll_never_sleeps_below_the_floor(self, monkeypatch):
+        status, _, sleeps = self._poll_transcript(
+            monkeypatch,
+            [(202, {"state": "running"})] * 3 + [(200, {"state": "done"})],
+            wait=30.0,
+            poll=0.001,  # pathological caller value
+        )
+        assert status == 200
+        assert sleeps and all(s >= POLL_FLOOR_SECONDS for s in sleeps)
+
+    def test_poll_honours_server_retry_after_hint(self, monkeypatch):
+        _, _, sleeps = self._poll_transcript(
+            monkeypatch,
+            [
+                (202, {"state": "running", "retry_after": 1.25}),
+                (200, {"state": "done"}),
+            ],
+            wait=30.0,
+            poll=0.5,
+        )
+        assert sleeps == [1.25]
+
+    def test_zero_wait_returns_202_immediately(self, monkeypatch):
+        status, body, sleeps = self._poll_transcript(
+            monkeypatch, [(202, {"state": "running"})], wait=0.0
+        )
+        assert status == 202 and body["state"] == "running"
+        assert sleeps == []
+
+
+class TestEnvKnobs:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "REPRO_CLIENT_RETRIES",
+            "REPRO_CLIENT_BREAKER_THRESHOLD",
+        ],
+    )
+    @pytest.mark.parametrize("value", ["three", "-1", "1.5"])
+    def test_invalid_int_knobs_raise(self, monkeypatch, name, value):
+        monkeypatch.setenv(name, value)
+        with pytest.raises(ServiceError, match=name):
+            ServiceClient("http://example.invalid")
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "REPRO_CLIENT_BACKOFF",
+            "REPRO_CLIENT_BACKOFF_MAX",
+            "REPRO_CLIENT_BREAKER_COOLDOWN",
+        ],
+    )
+    @pytest.mark.parametrize("value", ["soon", "-0.5"])
+    def test_invalid_float_knobs_raise(self, monkeypatch, name, value):
+        monkeypatch.setenv(name, value)
+        with pytest.raises(ServiceError, match=name):
+            ServiceClient("http://example.invalid")
+
+    def test_env_defaults_apply_and_kwargs_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLIENT_RETRIES", "7")
+        monkeypatch.setenv("REPRO_CLIENT_BACKOFF", "0.25")
+        client = ServiceClient("http://example.invalid")
+        assert client.retries == 7 and client.backoff == 0.25
+        explicit = ServiceClient("http://example.invalid", retries=1)
+        assert explicit.retries == 1  # kwarg beats env
+
+    def test_empty_env_value_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLIENT_RETRIES", "")
+        assert ServiceClient("http://example.invalid").retries == 3

@@ -152,7 +152,33 @@ class TestTransitions:
 
         asyncio.run(scenario())
 
-    def test_poison_job_never_wedges_the_queue(self, tmp_path, monkeypatch):
+    def test_transient_crash_is_retried_to_success(self, tmp_path, monkeypatch):
+        async def scenario():
+            import repro.service.queue as queue_module
+
+            calls = []
+
+            def flaky(spec, *, budget=None, checkpoint=None):
+                calls.append(spec)
+                if len(calls) == 1:
+                    raise RuntimeError("synthetic executor crash")
+                return _outcome("done")
+
+            monkeypatch.setattr(queue_module, "execute_job", flaky)
+            queue = JobQueue(str(tmp_path), max_jobs=1, max_retries=2)
+            await queue.start()
+            record, _ = queue.submit(dict(SPEC))
+            await queue.wait(record.job_id, timeout=5)
+            assert record.state == "done"  # healed on the retry
+            assert record.attempts == 1
+            assert not record.quarantined
+            assert "retried" in [e["event"] for e in record.events]
+            assert queue.stats()["job_retries"] == 1
+            await queue.drain(timeout=1)
+
+        asyncio.run(scenario())
+
+    def test_poison_job_is_quarantined_not_wedged(self, tmp_path, monkeypatch):
         async def scenario():
             import repro.service.queue as queue_module
 
@@ -160,21 +186,59 @@ class TestTransitions:
 
             def poison(spec, *, budget=None, checkpoint=None):
                 calls.append(spec)
-                if len(calls) == 1:
+                if spec.get("max_facts") != 2:
                     raise RuntimeError("synthetic executor crash")
                 return _outcome("done")
 
             monkeypatch.setattr(queue_module, "execute_job", poison)
-            queue = JobQueue(str(tmp_path), max_jobs=1)
+            queue = JobQueue(str(tmp_path), max_jobs=1, max_retries=1)
             await queue.start()
             first, _ = queue.submit(dict(SPEC))
             await queue.wait(first.job_id, timeout=5)
             assert first.state == "faulted"
+            assert first.quarantined
+            assert first.attempts == 2  # initial run + 1 retry
             assert "synthetic executor crash" in first.outcome.rendering
+            assert "quarantined" in [e["event"] for e in first.events]
+            assert queue.stats()["jobs_quarantined"] == 1
             second, _ = queue.submit({**SPEC, "max_facts": 2})
             await queue.wait(second.job_id, timeout=5)
             assert second.state == "done"  # the worker survived
             await queue.drain(timeout=1)
+
+        asyncio.run(scenario())
+
+    def test_unclean_restart_charges_an_attempt(self, tmp_path, monkeypatch):
+        """A jobs.json without the ``clean`` marker means the daemon
+        crashed; requeued jobs over their retry budget quarantine on
+        load instead of crash-looping."""
+
+        async def scenario():
+            _fake_executor(monkeypatch, _outcome("done"))
+            journal = tmp_path / "jobs.json"
+            journal.write_text(
+                json.dumps(
+                    {
+                        "jobs": [
+                            {
+                                "id": "j000001-deadbeef",
+                                "key": "deadbeef",
+                                "spec": dict(SPEC),
+                                "state": "queued",
+                                "attempts": 2,
+                            }
+                        ],
+                        "clean": False,
+                    }
+                ),
+                encoding="utf-8",
+            )
+            queue = JobQueue(str(tmp_path), max_jobs=1, max_retries=2)
+            assert queue.load() == 0  # 2 prior attempts + this crash > budget
+            [record] = queue.records()
+            assert record.state == "faulted"
+            assert record.quarantined
+            assert record.attempts == 3
 
         asyncio.run(scenario())
 

@@ -26,6 +26,7 @@ def _spawn_daemon(state_dir, *, env_extra=None, max_jobs=2):
     env["PYTHONPATH"] = os.path.abspath(REPO_SRC)
     env.pop("REPRO_FAULT_KILL_TASK", None)
     env.pop("REPRO_FAULT_DELAY_TASK", None)
+    env.pop("REPRO_FAULTS", None)
     env.pop("REPRO_ON_FAULT", None)
     env.update(env_extra or {})
     process = subprocess.Popen(
@@ -205,6 +206,7 @@ class TestByteIdentity:
         env["PYTHONPATH"] = os.path.abspath(REPO_SRC)
         env.pop("REPRO_FAULT_KILL_TASK", None)
         env.pop("REPRO_FAULT_DELAY_TASK", None)
+        env.pop("REPRO_FAULTS", None)
         completed = subprocess.run(
             argv, capture_output=True, text=True, env=env, timeout=300
         )
