@@ -108,8 +108,8 @@ def invertibility_report(
     (default: ``REPRO_SYMMETRY``) selects full or orbit-reduced sweeps
     for both bounded checks; ``orbits_checked`` aggregates their orbit
     counters.  *backend* (default: ``REPRO_BACKEND``) selects the
-    object or compiled-kernel execution backend for both sweeps; the
-    report is identical either way.  *shards* / *shard_id* (default:
+    object, compiled-kernel, or SQL (SQLite-hosted) execution backend
+    for both sweeps; the report is identical in each case.  *shards* / *shard_id* (default:
     ``REPRO_SHARDS`` / ``REPRO_SHARD_ID``) partition both bounded
     sweeps by content digest; with a fixed *shard_id* the report
     covers that shard alone, merged shard reports reproduce the

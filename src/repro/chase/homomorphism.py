@@ -35,7 +35,7 @@ from repro.datamodel.instances import Instance
 from repro.datamodel.terms import Constant, Null, Term, Variable
 from repro.engine.budget import current_budget
 from repro.engine.indexing import fact_index
-from repro.engine.kernel import kernel_active, kernel_all_homomorphisms
+from repro.engine.kernel import kernel_active, kernel_all_homomorphisms, sql_active
 
 Assignment = Dict[Term, Term]
 
@@ -161,6 +161,15 @@ def all_homomorphisms(
         # candidate selection over interned ids; results and result
         # order are identical (tests/properties/test_backend_equivalence).
         yield from kernel_all_homomorphisms(
+            tuple(atoms), target, base, constant_vars, inequalities
+        )
+        return
+    if sql_active():
+        # One conjunctive query over the lowered target; rows are
+        # re-sorted into this search's exact DFS yield order.
+        from repro.engine.sqlbackend import sql_all_homomorphisms
+
+        yield from sql_all_homomorphisms(
             tuple(atoms), target, base, constant_vars, inequalities
         )
         return

@@ -27,7 +27,8 @@ from repro.datamodel.instances import Instance
 from repro.datamodel.terms import Null, Term
 from repro.dependencies.dependency import Dependency
 from repro.engine.budget import current_budget
-from repro.engine.kernel import kernel_active, sorted_premise_matches
+from repro.engine.kernel import kernel_active, sorted_premise_matches, sql_active
+from repro.engine.sqlbackend import sql_sorted_premise_matches, sql_stratified_chase
 from repro.errors import ChaseError
 
 
@@ -81,6 +82,9 @@ def _sorted_matches(
         # Same matches, same order — computed semi-naively over the
         # sub-instance lattice when the instance is ground.
         return sorted_premise_matches(dependency, instance)
+    if sql_active():
+        # Same matches, same order — the premise join runs in SQLite.
+        return sql_sorted_premise_matches(dependency, instance)
     variables = dependency.premise_variables()
     matches = list(
         all_homomorphisms(
@@ -123,6 +127,7 @@ def chase(
     null_factory: Optional[NullFactory] = None,
     max_steps: int = 10_000,
     oblivious: bool = False,
+    trace: bool = True,
 ) -> ChaseResult:
     """Run the restricted chase of *instance* with *dependencies*.
 
@@ -145,6 +150,11 @@ def chase(
     oblivious variant terminates only for stratified (s-t style)
     dependency sets and refuses premises with constraints, where
     skipping the satisfaction check would change semantics subtly.
+
+    ``trace=False`` declares the caller will not read ``.steps`` (the
+    facts and fresh-null names are unaffected).  The object and kernel
+    backends ignore it; the SQL backend uses it to run full tgds as
+    bulk set operations instead of per-match firings.
     """
     dependencies = tuple(dependencies)
     for dependency in dependencies:
@@ -201,6 +211,19 @@ def chase(
         return ChaseResult(final, final.difference(instance), tuple(steps))
 
     if stratified:
+        if sql_active():
+            # The whole stratified chase as SQL rounds; None means a
+            # premise was too wide for one join — fall through to the
+            # interpreted loop (whose match lists still come from SQL).
+            result = sql_stratified_chase(
+                instance,
+                dependencies,
+                null_factory=null_factory,
+                max_steps=max_steps,
+                trace=trace,
+            )
+            if result is not None:
+                return result
         # The working instance (and therefore its fact index) is only
         # rebuilt when a firing actually added facts, not per match.
         working = instance

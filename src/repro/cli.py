@@ -345,12 +345,20 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend",
-        choices=("object", "kernel"),
+        choices=("object", "kernel", "sql"),
         default=None,
         help="execution backend for bounded checks: interpret the object "
-        "datamodel directly (object, the default) or run compiled joins "
-        "over interned integer ids (kernel); verdicts and witnesses are "
-        "identical either way",
+        "datamodel directly (object, the default), run compiled joins "
+        "over interned integer ids (kernel), or execute the chase and "
+        "homomorphism joins inside SQLite (sql); verdicts and witnesses "
+        "are identical either way",
+    )
+    parser.add_argument(
+        "--sql-db",
+        default=None,
+        metavar="PATH",
+        help="scratch SQLite database file for --backend sql "
+        "(REPRO_SQL_DB); defaults to a per-process in-memory database",
     )
     parser.add_argument(
         "--store",
@@ -397,6 +405,7 @@ def _configure_engine(arguments: argparse.Namespace) -> None:
         ("checkpoint", "REPRO_CHECKPOINT"),
         ("symmetry", "REPRO_SYMMETRY"),
         ("backend", "REPRO_BACKEND"),
+        ("sql_db", "REPRO_SQL_DB"),
         ("store", "REPRO_STORE"),
         ("shards", "REPRO_SHARDS"),
         ("shard_id", "REPRO_SHARD_ID"),

@@ -346,7 +346,10 @@ def subset_property(
     *backend* (default: ``REPRO_BACKEND``, else ``"object"``): with
     ``"kernel"``, homomorphism probes, premise matching, and verdict
     keys run on the compiled integer kernel
-    (:mod:`repro.engine.kernel`) — identical verdicts and witnesses,
+    (:mod:`repro.engine.kernel`); with ``"sql"``, the chase and the
+    homomorphism joins execute inside SQLite
+    (:mod:`repro.engine.sqlbackend`, scratch file via
+    ``REPRO_SQL_DB``) — identical verdicts and witnesses either way,
     installed before the fan-out so forked workers inherit it.
 
     *shards* / *shard_id* (default: ``REPRO_SHARDS`` /

@@ -43,6 +43,7 @@ from repro.engine.kernel import (
     kernel_hom_exists,
     kernel_instance,
     small_id,
+    sql_active,
 )
 from repro.errors import MappingError
 
@@ -152,7 +153,9 @@ def _require_tgds(mapping: SchemaMapping, operation: str) -> None:
 def _chase_compute(mapping: SchemaMapping):
     def compute(source: Instance) -> Instance:
         with engine_stats().phase("chase"):
-            result = chase(source, mapping.dependencies)
+            # No caller of the cached solution reads the step trace,
+            # which lets the SQL backend chase full tgds set-at-a-time.
+            result = chase(source, mapping.dependencies, trace=False)
         return result.instance.restrict_to(mapping.target)
 
     return compute
@@ -273,13 +276,23 @@ def solutions_contained(
     if hit:
         return verdict
     with engine_stats().phase("homomorphism"):
-        verdict = (
-            instance_homomorphism(
+        if sql_active():
+            # Existence decomposed into per-relation subset probes and
+            # per-component EXISTS queries; same verdict, same cache key.
+            from repro.engine.sqlbackend import sql_has_homomorphism
+
+            verdict = sql_has_homomorphism(
                 universal_solution(mapping, outer),
                 universal_solution(mapping, inner),
             )
-            is not None
-        )
+        else:
+            verdict = (
+                instance_homomorphism(
+                    universal_solution(mapping, outer),
+                    universal_solution(mapping, inner),
+                )
+                is not None
+            )
     verdict_cache.put(key, verdict)
     return verdict
 

@@ -37,7 +37,13 @@ fast:
   opt-in compiled backend (the ``--backend kernel`` mode): term
   interning, premises compiled once into ordered array join plans,
   and a delta-driven (semi-naive) chase for sweep enumeration, all
-  byte-identical to the object backend's results.
+  byte-identical to the object backend's results;
+* :mod:`repro.engine.sqlbackend` — the SQL backend (the ``--backend
+  sql`` mode): instances lowered into SQLite over the intern table
+  with labeled nulls in a tagged id-space, the chase run as bulk
+  ``INSERT … SELECT … EXCEPT`` rounds, and homomorphism checks
+  evaluated as conjunctive queries — the scaling path past what
+  in-memory backends can chase, still byte-identical.
 
 The package depends only on :mod:`repro.datamodel` and
 :mod:`repro.errors`; the chase, core, analysis, and data-exchange
@@ -98,6 +104,7 @@ from repro.engine.kernel import (
     BACKEND_KERNEL,
     BACKEND_MODES,
     BACKEND_OBJECT,
+    BACKEND_SQL,
     InternTable,
     KernelInstance,
     active_backend,
@@ -107,7 +114,16 @@ from repro.engine.kernel import (
     kernel_active,
     kernel_instance,
     resolve_backend,
+    sql_active,
     use_backend,
+)
+from repro.engine.sqlbackend import (
+    SqlInstance,
+    default_sql_db,
+    sql_all_homomorphisms,
+    sql_has_homomorphism,
+    sql_instance,
+    sql_stratified_chase,
 )
 from repro.engine.instrumentation import (
     EngineStats,
@@ -162,6 +178,7 @@ __all__ = [
     "BACKEND_KERNEL",
     "BACKEND_MODES",
     "BACKEND_OBJECT",
+    "BACKEND_SQL",
     "Budget",
     "CacheStats",
     "CheckpointJournal",
@@ -184,6 +201,7 @@ __all__ = [
     "SYMMETRY_FULL",
     "SYMMETRY_MODES",
     "SYMMETRY_ORBITS",
+    "SqlInstance",
     "SweepPlan",
     "SweepVerdict",
     "VerdictStore",
@@ -207,6 +225,7 @@ __all__ = [
     "default_backend",
     "default_journal",
     "default_shards",
+    "default_sql_db",
     "default_store",
     "default_symmetry",
     "default_task_timeout",
@@ -248,6 +267,11 @@ __all__ = [
     "shard_entry_key",
     "shard_of_facts",
     "shard_of_instance",
+    "sql_active",
+    "sql_all_homomorphisms",
+    "sql_has_homomorphism",
+    "sql_instance",
+    "sql_stratified_chase",
     "stable_digest",
     "store_installed",
     "sweep_key",

@@ -19,6 +19,7 @@ Fault points (see :data:`FAULT_POINTS`)::
     daemon.kill     the service daemon SIGKILLs itself at a job boundary
     client.drop     the service client's connection fails before sending
     client.reset    the connection drops after the server acted (response lost)
+    sql.exec        a SQL-backend statement fails (counted, retried once)
 
 Configuration is a single ``REPRO_FAULTS`` spec — semicolon-separated
 clauses of ``point:key=value,...`` — or the programmatic
@@ -82,6 +83,7 @@ FAULT_POINTS: Dict[str, str] = {
     "daemon.kill": "the service daemon SIGKILLs itself at a job boundary",
     "client.drop": "the client connection fails before the request is sent",
     "client.reset": "the connection resets after the server acted",
+    "sql.exec": "a SQL-backend statement fails and is retried once",
 }
 
 _TRIGGER_KEYS = ("at", "every", "p", "after")

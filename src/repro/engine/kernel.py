@@ -55,7 +55,8 @@ from repro.engine.compile import CompiledPremise, compile_premise
 
 BACKEND_OBJECT = "object"
 BACKEND_KERNEL = "kernel"
-BACKEND_MODES = (BACKEND_OBJECT, BACKEND_KERNEL)
+BACKEND_SQL = "sql"
+BACKEND_MODES = (BACKEND_OBJECT, BACKEND_KERNEL, BACKEND_SQL)
 
 #: Above this many facts the delta match chain would recurse too deep
 #: (and the lattice sharing it exploits no longer applies); fall back
@@ -99,6 +100,20 @@ def kernel_active() -> bool:
     if _ACTIVE is not None:
         return _ACTIVE == BACKEND_KERNEL
     return default_backend() == BACKEND_KERNEL
+
+
+def sql_active() -> bool:
+    """Is the SQL backend active for the current (sweep) context?
+
+    True inside ``use_backend("sql")``, or — with no ambient context —
+    when ``REPRO_BACKEND=sql``.  The SQL backend
+    (:mod:`repro.engine.sqlbackend`) runs the chase and homomorphism
+    joins inside SQLite; like the kernel it is exact acceleration, so
+    verdicts and their order are identical across backends.
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE == BACKEND_SQL
+    return default_backend() == BACKEND_SQL
 
 
 @contextmanager
@@ -711,6 +726,7 @@ __all__ = [
     "BACKEND_KERNEL",
     "BACKEND_MODES",
     "BACKEND_OBJECT",
+    "BACKEND_SQL",
     "InternTable",
     "KernelInstance",
     "active_backend",
@@ -727,5 +743,6 @@ __all__ = [
     "resolve_backend",
     "small_id",
     "sorted_premise_matches",
+    "sql_active",
     "use_backend",
 ]

@@ -3,8 +3,15 @@
 The translations follow the textbook correspondences:
 
 * a schema relation R/k becomes ``CREATE TABLE r (c1, …, ck)``;
+  names that would collide after identifier-folding (``R`` vs ``r``)
+  raise :class:`SqlExportError` instead of silently sharing a table;
 * a ground instance becomes INSERT statements (labeled nulls render
-  as SQL NULL — lossy, flagged unless ``allow_nulls``);
+  as SQL NULL — lossy, flagged unless ``allow_nulls``).  Every
+  constant renders as a *quoted string*, matching the textual column
+  type the DDL declares: an unquoted integer literal would land in a
+  TEXT-affinity column as its string twin, silently merging
+  ``Constant(3)`` with ``Constant("3")`` and breaking equality
+  predicates on engines with strict column types;
 * a *full* tgd whose conclusion atoms repeat no variable position
   within an atom beyond what equality predicates can express becomes
   one ``INSERT INTO … SELECT DISTINCT …`` per conclusion atom, with
@@ -21,7 +28,7 @@ non-full dependencies rather than silently changing semantics.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.datamodel.atoms import Atom
 from repro.datamodel.instances import Instance
@@ -45,14 +52,33 @@ def _identifier(name: str) -> str:
     return f'"{escaped}"'
 
 
+def _assert_distinct_tables(names: Iterable[str], context: str) -> None:
+    """Reject relation names that fold to one SQL table.
+
+    ``_identifier`` lowercases, so ``R`` and ``r`` would silently
+    share ``CREATE TABLE r`` and every statement against either would
+    read and write the other's rows.
+    """
+    seen: Dict[str, str] = {}
+    for name in names:
+        ident = _identifier(name)
+        other = seen.setdefault(ident, name)
+        if other != name:
+            raise SqlExportError(
+                f"relations {other!r} and {name!r} in {context} both "
+                f"render as SQL table {ident}; rename one of them"
+            )
+
+
 def _column(index: int) -> str:
     return f"c{index + 1}"
 
 
 def _literal(term: Term, *, allow_nulls: bool) -> str:
     if isinstance(term, Constant):
-        if isinstance(term.value, int):
-            return str(term.value)
+        # Always a quoted string: the DDL declares textual columns, so
+        # an unquoted integer would store/compare as its string twin
+        # under SQLite affinity and be a type error on strict engines.
         escaped = str(term.value).replace("'", "''")
         return f"'{escaped}'"
     if isinstance(term, Null):
@@ -67,6 +93,9 @@ def _literal(term: Term, *, allow_nulls: bool) -> str:
 
 def schema_to_ddl(schema: Schema, *, text_type: str = "TEXT") -> str:
     """CREATE TABLE statements for every relation of *schema*."""
+    _assert_distinct_tables(
+        (relation for relation, _ in schema.relations), "schema"
+    )
     statements: List[str] = []
     for relation, arity in schema.relations:
         columns = ", ".join(f"{_column(i)} {text_type}" for i in range(arity))
@@ -78,6 +107,9 @@ def schema_to_ddl(schema: Schema, *, text_type: str = "TEXT") -> str:
 
 def instance_to_inserts(instance: Instance, *, allow_nulls: bool = False) -> str:
     """INSERT statements materializing *instance*, in sorted order."""
+    _assert_distinct_tables(
+        sorted({fact.relation for fact in instance.facts}), "instance"
+    )
     statements: List[str] = []
     for fact in instance.sorted_facts():
         values = ", ".join(
@@ -138,6 +170,13 @@ def tgd_to_insert_select(dependency: Dependency) -> str:
             "existential conclusions need labeled nulls; SQL INSERT…SELECT "
             "only renders full tgds"
         )
+    _assert_distinct_tables(
+        sorted(
+            {atom.relation for atom in dependency.premise.atoms}
+            | {atom.relation for atom in dependency.disjuncts[0]}
+        ),
+        "dependency",
+    )
     from_clauses, binding, predicates = _compile_premise(
         dependency.premise.atoms, dependency.premise.inequalities
     )
@@ -168,8 +207,23 @@ def mapping_to_sql(mapping: SchemaMapping) -> str:
     """DDL for both schemas plus INSERT…SELECT per dependency.
 
     Only defined for full, disjunction-free mappings (GAV-style ETL);
-    raises :class:`SqlExportError` otherwise.
+    raises :class:`SqlExportError` otherwise — including when a source
+    and a target relation fold to one SQL table, since both schemas
+    share one database.
     """
+    sides = [
+        ("source", relation) for relation, _ in mapping.source.relations
+    ] + [("target", relation) for relation, _ in mapping.target.relations]
+    seen: Dict[str, Tuple[str, str]] = {}
+    for side, relation in sides:
+        ident = _identifier(relation)
+        other = seen.setdefault(ident, (side, relation))
+        if other != (side, relation):
+            raise SqlExportError(
+                f"{other[0]} relation {other[1]!r} and {side} relation "
+                f"{relation!r} both render as SQL table {ident}; the "
+                "exported script would read and write one table for both"
+            )
     parts = [
         "-- source schema",
         schema_to_ddl(mapping.source),
@@ -184,6 +238,9 @@ def mapping_to_sql(mapping: SchemaMapping) -> str:
 
 def cq_to_select(query: ConjunctiveQuery) -> str:
     """A SELECT DISTINCT statement computing *query*."""
+    _assert_distinct_tables(
+        sorted({atom.relation for atom in query.atoms}), "query"
+    )
     from_clauses, binding, predicates = _compile_premise(query.atoms, ())
     if query.head:
         columns = ", ".join(binding[variable] for variable in query.head)

@@ -222,8 +222,10 @@ def normalize_job(payload: Any) -> Dict[str, Any]:
             )
         if option == "symmetry" and value not in ("full", "orbits"):
             raise ServiceProtocolError("symmetry must be 'full' or 'orbits'")
-        if option == "backend" and value not in ("object", "kernel"):
-            raise ServiceProtocolError("backend must be 'object' or 'kernel'")
+        if option == "backend" and value not in ("object", "kernel", "sql"):
+            raise ServiceProtocolError(
+                "backend must be 'object', 'kernel', or 'sql'"
+            )
         spec[option] = value
     return spec
 

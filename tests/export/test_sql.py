@@ -33,11 +33,45 @@ class TestDdl:
         ddl = schema_to_ddl(Schema.of({"My Table": 1}))
         assert '"my table"' in ddl.lower()
 
+    def test_case_collision_rejected(self):
+        with pytest.raises(SqlExportError, match="both render"):
+            schema_to_ddl(Schema.of({"R": 1, "r": 2}))
+
+
+class TestIdentifierCollisions:
+    def test_insert_collision_rejected(self):
+        instance = Instance.build({"R": [("a",)], "r": [("b",)]})
+        with pytest.raises(SqlExportError, match="both render"):
+            instance_to_inserts(instance)
+
+    def test_dependency_collision_rejected(self):
+        with pytest.raises(SqlExportError, match="both render"):
+            tgd_to_insert_select(parse_dependency("P(x) -> p(x)"))
+
+    def test_query_collision_rejected(self):
+        with pytest.raises(SqlExportError, match="both render"):
+            cq_to_select(parse_query("q(x) :- P(x), p(x)"))
+
+    def test_mapping_source_target_collision_rejected(self):
+        from repro.core.mapping import SchemaMapping
+
+        mapping = SchemaMapping.from_text(
+            Schema.of({"P": 1}),
+            Schema.of({"p": 1}),
+            "P(x) -> p(x)",
+            name="collide",
+        )
+        with pytest.raises(SqlExportError, match="both render"):
+            mapping_to_sql(mapping)
+
 
 class TestInserts:
     def test_string_and_integer_literals(self):
+        # integers are quoted too: the DDL declares TEXT columns, so an
+        # unquoted 3 would store as its string twin anyway and collide
+        # with Constant("3")
         inserts = instance_to_inserts(Instance.build({"P": [("a", 3)]}))
-        assert inserts == "INSERT INTO p VALUES ('a', 3);"
+        assert inserts == "INSERT INTO p VALUES ('a', '3');"
 
     def test_quote_escaping(self):
         inserts = instance_to_inserts(Instance.build({"P": [("o'brien",)]}))

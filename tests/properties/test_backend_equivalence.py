@@ -1,14 +1,23 @@
-"""Object vs compiled-kernel backend equivalence (hypothesis).
+"""Object vs compiled-kernel vs SQL backend equivalence (hypothesis).
 
-The kernel backend must be invisible: every search and every verdict
-agrees with the object backend not just on the *set* of results but on
-their *order* (the chase picks the first match, so order divergence
-would change downstream instances).  These properties drive both
-backends over randomly drawn premises — including ``Constant(x)``
-conjuncts and inequalities — targets with nulls, and random LAV
-mappings, asserting byte-identical answers.
+The accelerated backends must be invisible: every search and every
+verdict agrees with the object backend not just on the *set* of
+results but on their *order* (the chase picks the first match, so
+order divergence would change downstream instances).  These properties
+drive all three backends over randomly drawn premises — including
+``Constant(x)`` conjuncts and inequalities — targets with nulls, and
+random LAV mappings (whose tgds include *existential* conclusions),
+asserting byte-identical answers.
+
+The SQL backend normally routes operands below
+``REPRO_SQL_MIN_FACTS`` facts to the kernel; the module fixture pins
+the threshold to 0 so these tiny hypothesis instances exercise the
+actual SQL plans.
 """
 
+import os
+
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -17,6 +26,7 @@ from repro.chase.homomorphism import (
     find_homomorphism,
     instance_homomorphism,
 )
+from repro.chase.standard import chase
 from repro.core.mapping import (
     data_exchange_equivalent,
     solutions_contained,
@@ -25,8 +35,24 @@ from repro.core.mapping import (
 from repro.datamodel.atoms import Atom
 from repro.datamodel.instances import Instance
 from repro.datamodel.terms import Constant, Null, Variable
-from repro.engine import use_backend
+from repro.engine import reset_all_caches, use_backend
 from repro.workloads import random_ground_instance, random_lav_mapping
+
+ACCELERATED = ("kernel", "sql")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _force_sql_path():
+    """Pin the SQL small-operand threshold to 0 for this module."""
+    previous = os.environ.get("REPRO_SQL_MIN_FACTS")
+    os.environ["REPRO_SQL_MIN_FACTS"] = "0"
+    reset_all_caches()
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_SQL_MIN_FACTS", None)
+    else:
+        os.environ["REPRO_SQL_MIN_FACTS"] = previous
+    reset_all_caches()
 
 X, Y, Z = Variable("x"), Variable("y"), Variable("z")
 VARIABLES = (X, Y, Z)
@@ -116,16 +142,17 @@ class TestHomomorphismSearchEquivalence:
                     inequalities=inequalities,
                 )
             )
-        with use_backend("kernel"):
-            actual = list(
-                all_homomorphisms(
-                    premise,
-                    target,
-                    constant_vars=constant_vars,
-                    inequalities=inequalities,
+        for backend in ACCELERATED:
+            with use_backend(backend):
+                actual = list(
+                    all_homomorphisms(
+                        premise,
+                        target,
+                        constant_vars=constant_vars,
+                        inequalities=inequalities,
+                    )
                 )
-            )
-        assert actual == expected
+            assert actual == expected, backend
 
     @SLOW
     @given(
@@ -147,23 +174,25 @@ class TestHomomorphismSearchEquivalence:
                 constant_vars=constant_vars,
                 inequalities=inequalities,
             )
-        with use_backend("kernel"):
-            actual = find_homomorphism(
-                premise,
-                target,
-                constant_vars=constant_vars,
-                inequalities=inequalities,
-            )
-        assert actual == expected
+        for backend in ACCELERATED:
+            with use_backend(backend):
+                actual = find_homomorphism(
+                    premise,
+                    target,
+                    constant_vars=constant_vars,
+                    inequalities=inequalities,
+                )
+            assert actual == expected, backend
 
     @SLOW
     @given(source=target_instances, target=target_instances)
     def test_instance_homomorphism_identical(self, source, target):
         with use_backend("object"):
             expected = instance_homomorphism(source, target)
-        with use_backend("kernel"):
-            actual = instance_homomorphism(source, target)
-        assert actual == expected
+        for backend in ACCELERATED:
+            with use_backend(backend):
+                actual = instance_homomorphism(source, target)
+            assert actual == expected, backend
 
 
 lav_mappings = st.builds(
@@ -183,11 +212,16 @@ class TestVerdictEquivalence:
         source = random_ground_instance(
             mapping.source, seed=seed, n_facts=3, domain_size=2
         )
+        reset_all_caches()
         with use_backend("object"):
             expected = universal_solution(mapping, source)
-        with use_backend("kernel"):
-            actual = universal_solution(mapping, source)
-        assert actual.facts == expected.facts
+        for backend in ACCELERATED:
+            # fresh caches per backend: verdict/chase memos are not
+            # backend-keyed, and a cache hit would mask a divergence
+            reset_all_caches()
+            with use_backend(backend):
+                actual = universal_solution(mapping, source)
+            assert actual.facts == expected.facts, backend
 
     @SLOW
     @given(
@@ -202,9 +236,36 @@ class TestVerdictEquivalence:
         right = random_ground_instance(
             mapping.source, seed=seed_two, n_facts=2, domain_size=2
         )
+        reset_all_caches()
         with use_backend("object"):
             contained = solutions_contained(mapping, left, right)
             equivalent = data_exchange_equivalent(mapping, left, right)
-        with use_backend("kernel"):
-            assert solutions_contained(mapping, left, right) == contained
-            assert data_exchange_equivalent(mapping, left, right) == equivalent
+        for backend in ACCELERATED:
+            reset_all_caches()
+            with use_backend(backend):
+                assert (
+                    solutions_contained(mapping, left, right) == contained
+                ), backend
+                assert (
+                    data_exchange_equivalent(mapping, left, right)
+                    == equivalent
+                ), backend
+
+    @SLOW
+    @given(mapping=lav_mappings, seed=st.integers(min_value=0, max_value=500))
+    def test_chase_trace_byte_identical(self, mapping, seed):
+        """Traced chases — existential tgds invent fresh nulls — agree
+        on the final facts, the produced delta, and every step."""
+        source = random_ground_instance(
+            mapping.source, seed=seed, n_facts=3, domain_size=2
+        )
+        reset_all_caches()
+        with use_backend("object"):
+            expected = chase(source, mapping.dependencies)
+        for backend in ACCELERATED:
+            reset_all_caches()
+            with use_backend(backend):
+                actual = chase(source, mapping.dependencies)
+            assert actual.instance.facts == expected.instance.facts, backend
+            assert actual.produced.facts == expected.produced.facts, backend
+            assert actual.steps == expected.steps, backend
