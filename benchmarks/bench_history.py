@@ -1,0 +1,130 @@
+"""Perf trajectory across the committed ``BENCH_PR<n>.json`` snapshots.
+
+Each perf-focused PR commits one compact median snapshot at the repo
+root (see ``check_regression.py --emit-snapshot``).  This script folds
+all of them into a single trajectory table — one row per benchmark,
+one column per PR snapshot — so "what got faster when" stays
+answerable from the repo without digging through CI artifacts.
+
+Usage::
+
+    python benchmarks/bench_history.py            # table to stdout
+    python benchmarks/bench_history.py --json     # machine-readable
+
+A cell shows the median seconds recorded by that PR's snapshot, or
+``-`` when the PR did not run that benchmark (snapshots only cover the
+bench job(s) the PR touched).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT_PATTERN = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+def discover_snapshots(root: Path = ROOT) -> List[Tuple[int, Path]]:
+    """``[(pr_number, path)]`` sorted by PR number."""
+    found = []
+    for path in root.glob("BENCH_PR*.json"):
+        match = SNAPSHOT_PATTERN.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def load_snapshot(path: Path) -> Dict[str, float]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot read snapshot {path}: {error}")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        raise SystemExit(f"snapshot {path} has no 'benchmarks' table")
+    return {str(name): float(value) for name, value in benchmarks.items()}
+
+
+def build_history(
+    snapshots: List[Tuple[int, Path]],
+) -> Tuple[List[int], Dict[str, Dict[int, float]]]:
+    """(ordered PR numbers, {benchmark: {pr: median seconds}})."""
+    numbers = [number for number, _ in snapshots]
+    history: Dict[str, Dict[int, float]] = {}
+    for number, path in snapshots:
+        for name, median in load_snapshot(path).items():
+            history.setdefault(name, {})[number] = median
+    return numbers, history
+
+
+def _short(name: str) -> str:
+    """``bench_sql.py::test_x`` from the full node id."""
+    return name.removeprefix("benchmarks/")
+
+
+def render_table(numbers: List[int], history: Dict[str, Dict[int, float]]) -> str:
+    header = ["benchmark"] + [f"PR{n}" for n in numbers]
+    rows = [
+        [_short(name)]
+        + [
+            f"{cells[n]:.3f}s" if n in cells else "-"
+            for n in numbers
+        ]
+        for name, cells in sorted(history.items())
+    ]
+    widths = [
+        max(len(line[column]) for line in [header] + rows)
+        for column in range(len(header))
+    ]
+    lines = []
+    for line in [header] + rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(width) if index == 0 else cell.rjust(width)
+                for index, (cell, width) in enumerate(zip(line, widths))
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=ROOT,
+        help="repository root to scan for BENCH_PR<n>.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the trajectory as JSON instead of a table",
+    )
+    arguments = parser.parse_args(argv)
+
+    snapshots = discover_snapshots(arguments.root)
+    if not snapshots:
+        print(f"no BENCH_PR<n>.json snapshots under {arguments.root}")
+        return 1
+    numbers, history = build_history(snapshots)
+    if arguments.json:
+        payload = {
+            "snapshots": [f"PR{n}" for n in numbers],
+            "medians_seconds": {
+                name: {f"PR{n}": value for n, value in sorted(cells.items())}
+                for name, cells in sorted(history.items())
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_table(numbers, history))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

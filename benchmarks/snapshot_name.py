@@ -1,0 +1,77 @@
+"""Compute the perf-snapshot filename for the current PR.
+
+CI's bench jobs emit a compact median snapshot (see
+``check_regression.py --emit-snapshot``) committed at the repo root as
+``BENCH_PR<n>.json``.  The ``<n>`` used to be hand-edited into the
+workflow env on every perf PR; this script derives it instead:
+
+* ``BENCH_SNAPSHOT`` in the environment wins verbatim (explicit
+  override, e.g. to regenerate an old snapshot), otherwise
+* scan the repo root for existing ``BENCH_PR<n>.json`` files and print
+  ``BENCH_PR<max+1>.json`` — the next free slot — so a fresh perf PR
+  never clobbers a committed snapshot.
+
+CI usage (one line per bench job, replacing the workflow-level env)::
+
+    echo "BENCH_SNAPSHOT=$(python benchmarks/snapshot_name.py)" >> "$GITHUB_ENV"
+
+A PR that commits its snapshot mid-review keeps getting the same name
+on re-runs: ``--current`` prints the *occupied* top slot instead of
+the next free one, and CI prefers it when the file already exists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from pathlib import Path
+
+# Kept in sync with benchmarks/bench_history.py (self-contained on
+# purpose: CI invokes this as a plain script, no PYTHONPATH set up).
+SNAPSHOT_PATTERN = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def highest_snapshot(root: Path = ROOT) -> int:
+    """The largest ``<n>`` among committed ``BENCH_PR<n>.json``, or 0."""
+    numbers = [
+        int(match.group(1))
+        for path in root.glob("BENCH_PR*.json")
+        if (match := SNAPSHOT_PATTERN.match(path.name))
+    ]
+    return max(numbers, default=0)
+
+
+def snapshot_name(root: Path = ROOT, *, current: bool = False) -> str:
+    override = os.environ.get("BENCH_SNAPSHOT", "")
+    if override:
+        return override
+    top = highest_snapshot(root)
+    if current and top:
+        return f"BENCH_PR{top}.json"
+    return f"BENCH_PR{top + 1}.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=ROOT,
+        help="repository root to scan (default: repo root)",
+    )
+    parser.add_argument(
+        "--current",
+        action="store_true",
+        help="print the highest committed slot instead of the next free one",
+    )
+    arguments = parser.parse_args(argv)
+    print(snapshot_name(arguments.root, current=arguments.current))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

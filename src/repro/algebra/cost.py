@@ -1,0 +1,259 @@
+"""A cost model for expression evaluation strategies.
+
+Estimates are seconds, assembled from per-operation unit costs times
+structural operation counts.  Unit costs are *calibrated*: when the
+process's :class:`~repro.engine.instrumentation.EngineStats` already
+timed chases, homomorphism checks, MinGen runs, or membership
+candidate loops, the observed seconds-per-operation replace the
+static defaults — so the planner adapts to the machine and backend
+it actually runs on.  Estimates need only rank strategies correctly;
+``--explain-plan`` prints them next to measured actuals so drift is
+visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.mapping import SchemaMapping
+from repro.engine.instrumentation import EngineStats, engine_stats
+from repro.algebra.expr import (
+    Compose,
+    MappingAtom,
+    MappingExpr,
+    producible_relations,
+)
+
+# Static fallback unit costs (seconds per operation), used until the
+# engine has observed enough of the corresponding phase to calibrate.
+FALLBACK_CHASE_SECONDS = 0.002
+FALLBACK_HOM_SECONDS = 0.001
+FALLBACK_MINGEN_SECONDS_PER_RULE = 0.05
+FALLBACK_MEMBERSHIP_SECONDS_PER_CANDIDATE = 0.0005
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """One strategy's predicted cost for one sweep."""
+
+    strategy: str
+    total: float
+    terms: Tuple[Tuple[str, float], ...] = ()
+    feasible: bool = True
+    note: str = ""
+
+    def render(self) -> str:
+        if not self.feasible:
+            reason = f" ({self.note})" if self.note else ""
+            return f"{self.strategy}: infeasible{reason}"
+        detail = ", ".join(
+            # "pairs" is a count, every other term is seconds
+            f"{name}={value:.3g}" + ("" if name == "pairs" else "s")
+            for name, value in self.terms
+        )
+        suffix = f" [{detail}]" if detail else ""
+        note = f" ({self.note})" if self.note else ""
+        return f"{self.strategy}: ~{self.total:.3g}s{suffix}{note}"
+
+
+def _calibrated_rate(
+    stats: EngineStats,
+    phase: str,
+    counter: Optional[str],
+    fallback: float,
+    minimum_samples: int = 5,
+) -> float:
+    """Seconds per operation for *phase*, from observed timings.
+
+    When *counter* is given, operations are its named-counter value
+    (e.g. rules emitted during ``compose.full``); otherwise the
+    phase's call count.  Falls back to the static default until
+    enough samples exist.
+    """
+    phase_stats = stats.phases.get(phase)
+    if phase_stats is None or phase_stats.seconds <= 0:
+        return fallback
+    if counter is not None:
+        operations = stats.counter(counter)
+    else:
+        operations = phase_stats.calls
+    if operations < minimum_samples:
+        return fallback
+    return phase_stats.seconds / operations
+
+
+@dataclass
+class CostModel:
+    """Unit costs plus structural estimators.
+
+    Build with :meth:`calibrated` to read the live engine stats, or
+    construct directly with explicit rates (tests do).
+    """
+
+    chase_seconds: float = FALLBACK_CHASE_SECONDS
+    hom_seconds: float = FALLBACK_HOM_SECONDS
+    mingen_seconds_per_rule: float = FALLBACK_MINGEN_SECONDS_PER_RULE
+    membership_seconds_per_candidate: float = (
+        FALLBACK_MEMBERSHIP_SECONDS_PER_CANDIDATE
+    )
+    calibrations: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def calibrated(cls, stats: Optional[EngineStats] = None) -> "CostModel":
+        stats = stats if stats is not None else engine_stats()
+        model = cls(
+            chase_seconds=_calibrated_rate(
+                stats, "chase", None, FALLBACK_CHASE_SECONDS
+            ),
+            hom_seconds=_calibrated_rate(
+                stats, "homomorphism", None, FALLBACK_HOM_SECONDS
+            ),
+            mingen_seconds_per_rule=_calibrated_rate(
+                stats,
+                "compose.full",
+                "compose_rules_emitted",
+                FALLBACK_MINGEN_SECONDS_PER_RULE,
+            ),
+            membership_seconds_per_candidate=_calibrated_rate(
+                stats,
+                "compose.membership",
+                "membership_candidates_tried",
+                FALLBACK_MEMBERSHIP_SECONDS_PER_CANDIDATE,
+            ),
+        )
+        for name, fallback, value in (
+            ("chase", FALLBACK_CHASE_SECONDS, model.chase_seconds),
+            ("homomorphism", FALLBACK_HOM_SECONDS, model.hom_seconds),
+            (
+                "mingen",
+                FALLBACK_MINGEN_SECONDS_PER_RULE,
+                model.mingen_seconds_per_rule,
+            ),
+            (
+                "membership",
+                FALLBACK_MEMBERSHIP_SECONDS_PER_CANDIDATE,
+                model.membership_seconds_per_candidate,
+            ),
+        ):
+            model.calibrations[name] = (
+                "static" if value == fallback else "observed"
+            )
+        return model
+
+    # -- structural measures -------------------------------------------
+
+    def _mingen_rules_proxy(self, expr: MappingExpr) -> float:
+        """Predicted MinGen output size for materializing *expr*.
+
+        For ``compose(a, m)``: MinGen enumerates, per dependency of
+        the right operand, minimal generators of its premise — the
+        blow-up is roughly the product over premise atoms of how many
+        left-side rules can produce that atom, with a ``2^vars``
+        factor for variable identification patterns.  Crude, but it
+        separates polynomial pipelines from the exponential chain-join
+        cases by orders of magnitude, which is all ranking needs.
+        """
+        if isinstance(expr, MappingAtom):
+            return float(len(expr.mapping.dependencies))
+        if isinstance(expr, Compose):
+            left_rules = self._mingen_rules_proxy(expr.first)
+            second = expr.second
+            if isinstance(second, MappingAtom):
+                total = 0.0
+                producible = producible_relations(expr.first)
+                for dep in second.mapping.dependencies:
+                    if not frozenset(dep.premise_relations()) <= producible:
+                        continue
+                    generators = 1.0
+                    premise_vars = set()
+                    for atom in dep.premise.atoms:
+                        generators *= max(left_rules, 1.0)
+                        premise_vars.update(atom.variables())
+                    total += generators * (2.0 ** len(premise_vars))
+                return max(total, 1.0)
+            return left_rules * self._mingen_rules_proxy(second)
+        children = expr.children()
+        if not children:
+            return 1.0
+        return sum(self._mingen_rules_proxy(child) for child in children)
+
+    @staticmethod
+    def _stage_count(expr: MappingExpr) -> int:
+        count = 1
+        current = expr
+        while isinstance(current, Compose):
+            count += 1
+            current = current.second
+        return count
+
+    # -- per-strategy estimates ----------------------------------------
+
+    def estimate_materialize(
+        self, expr: MappingExpr, universe_size: int, pair_checks: int
+    ) -> CostEstimate:
+        rules = self._mingen_rules_proxy(expr)
+        mingen = rules * self.mingen_seconds_per_rule
+        # the materialized mapping has ~rules dependencies; chases and
+        # model checks over it scale with that width
+        sweep = universe_size * max(rules, 1.0) * self.chase_seconds
+        sweep += pair_checks * max(rules, 1.0) * self.hom_seconds
+        return CostEstimate(
+            strategy="materialize",
+            total=mingen + sweep,
+            terms=(("mingen", mingen), ("sweep", sweep)),
+        )
+
+    def estimate_staged(
+        self,
+        expr: MappingExpr,
+        universe_size: int,
+        pair_checks: int,
+        staged: Optional[SchemaMapping],
+    ) -> CostEstimate:
+        if staged is None:
+            return CostEstimate(
+                strategy="staged",
+                total=float("inf"),
+                feasible=False,
+                note="stages not tgd/full or segment not materializable",
+            )
+        stages = self._stage_count(expr)
+        sweep = universe_size * stages * self.chase_seconds
+        sweep += pair_checks * stages * self.hom_seconds
+        return CostEstimate(
+            strategy="staged",
+            total=sweep,
+            terms=(("sweep", sweep),),
+        )
+
+    def estimate_membership(
+        self,
+        expr: MappingExpr,
+        pair_checks: int,
+        candidates_per_pair: float = 8.0,
+    ) -> CostEstimate:
+        if pair_checks <= 0:
+            return CostEstimate(
+                strategy="membership",
+                total=float("inf"),
+                feasible=False,
+                note="no pairwise membership checks in this sweep kind",
+            )
+        if not isinstance(expr, Compose):
+            return CostEstimate(
+                strategy="membership",
+                total=float("inf"),
+                feasible=False,
+                note="membership evaluation needs a compose at the root",
+            )
+        per_pair = (
+            candidates_per_pair * self.membership_seconds_per_candidate
+            + self.chase_seconds
+        )
+        total = pair_checks * per_pair
+        return CostEstimate(
+            strategy="membership",
+            total=total,
+            terms=(("pairs", float(pair_checks)), ("per_pair", per_pair)),
+        )

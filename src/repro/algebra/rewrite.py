@@ -1,0 +1,301 @@
+"""Equivalence-preserving rewrites over mapping expressions.
+
+Every rule preserves the bounded-sweep verdicts of the expression it
+rewrites: the denoted mapping before and after has the same solution
+relation over every ground source instance, so unique-solutions,
+subset-property, and inverse checks are unchanged (the property suite
+in ``tests/properties/test_algebra_equivalence.py`` enforces this
+pair by pair).
+
+:func:`normalize` drives the rules to a fixpoint post-order and
+returns the rewrite trace; ``--explain-plan`` surfaces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.mapping import MappingError
+from repro.algebra.expr import (
+    Compose,
+    MappingAtom,
+    MappingExpr,
+    Rename,
+    Restrict,
+    UnionOf,
+    expr_is_full,
+    expr_is_tgd,
+    producible_relations,
+    rename_mapping,
+    restrict_mapping,
+)
+
+
+@dataclass(frozen=True)
+class RewriteStep:
+    """One applied rule, with before/after labels for the trace."""
+
+    rule: str
+    before: str
+    after: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}: {self.before} => {self.after}"
+
+
+# -- individual rules ---------------------------------------------------
+#
+# Each rule takes an expression and returns the rewritten expression,
+# or None when it does not apply.  Rules only fire when they are
+# exact; conditional rules (full-tgd gates, restrict surgery) refuse
+# rather than approximate.
+
+
+def _assoc_right(expr: MappingExpr) -> Optional[MappingExpr]:
+    """compose(compose(a, b), c) -> compose(a, compose(b, c)).
+
+    Composition of binary relations is associative, so the denoted
+    mapping is unchanged; right-nesting exposes the pipeline spine
+    the staged evaluator consumes.
+    """
+    if isinstance(expr, Compose) and isinstance(expr.first, Compose):
+        inner = expr.first
+        return Compose(
+            first=inner.first,
+            second=Compose(first=inner.second, second=expr.second),
+        )
+    return None
+
+
+def _factor_compose_over_union(expr: MappingExpr) -> Optional[MappingExpr]:
+    """union(compose(a, b), compose(a, c)) -> compose(a, union(b, c)).
+
+    Exact when ``a`` is a full tgd mapping: its chase result is the
+    unique minimal solution, and composing with the union of two
+    constraint sets then constrains that one intermediate by both —
+    the same pairs as intersecting the two compositions.  The shared
+    head is recognized by content key, so equal-content atoms factor
+    even when they are distinct objects.
+    """
+    if not isinstance(expr, UnionOf):
+        return None
+    left, right = expr.left, expr.right
+    if not (isinstance(left, Compose) and isinstance(right, Compose)):
+        return None
+    if left.first.key() != right.first.key():
+        return None
+    if not (expr_is_tgd(left.first) and expr_is_full(left.first)):
+        return None
+    try:
+        return Compose(
+            first=left.first,
+            second=UnionOf(left=left.second, right=right.second),
+        )
+    except MappingError:
+        return None
+
+
+def distribute_compose_over_union(expr: MappingExpr) -> Optional[MappingExpr]:
+    """compose(a, union(b, c)) -> union(compose(a, b), compose(a, c)).
+
+    The inverse of factoring, under the same full-tgd gate on ``a``.
+    Not part of :func:`normalize` (it would fight the factoring rule);
+    exposed for callers that want membership checks to distribute.
+    """
+    if not isinstance(expr, Compose):
+        return None
+    if not isinstance(expr.second, UnionOf):
+        return None
+    if not (expr_is_tgd(expr.first) and expr_is_full(expr.first)):
+        return None
+    return UnionOf(
+        left=Compose(first=expr.first, second=expr.second.left),
+        right=Compose(first=expr.first, second=expr.second.right),
+    )
+
+
+def _rename_fuse(expr: MappingExpr) -> Optional[MappingExpr]:
+    """Collapse nested renames; drop identity renames."""
+    if not isinstance(expr, Rename):
+        return None
+    if isinstance(expr.child, Rename):
+        inner = dict(expr.child.renaming)
+        outer = dict(expr.renaming)
+        fused = {}
+        for old, new in inner.items():
+            fused[old] = outer.pop(new, new)
+        fused.update(outer)
+        effective = tuple(
+            (old, new) for old, new in sorted(fused.items()) if old != new
+        )
+        if not effective:
+            return expr.child.child
+        return Rename(child=expr.child.child, renaming=effective)
+    if all(old == new for old, new in expr.renaming):
+        return expr.child
+    return None
+
+
+def _rename_pushdown(expr: MappingExpr) -> Optional[MappingExpr]:
+    """Push a rename through union / into the second leg of a compose,
+    and absorb it into a leaf by relation surgery.
+
+    Renaming only touches target relations, so it commutes with any
+    operator whose target is assembled from its operands' targets.
+    """
+    if not isinstance(expr, Rename):
+        return None
+    child = expr.child
+    if isinstance(child, UnionOf):
+        return UnionOf(
+            left=Rename(child=child.left, renaming=expr.renaming),
+            right=Rename(child=child.right, renaming=expr.renaming),
+        )
+    if isinstance(child, Compose):
+        return Compose(
+            first=child.first,
+            second=Rename(child=child.second, renaming=expr.renaming),
+        )
+    if isinstance(child, MappingAtom):
+        return MappingAtom(
+            mapping=rename_mapping(child.mapping, dict(expr.renaming))
+        )
+    return None
+
+
+def _restrict_pushdown(expr: MappingExpr) -> Optional[MappingExpr]:
+    """Collapse nested restricts, drop full-schema restricts, push
+    through union / into the second leg of a compose, and absorb into
+    a leaf when the surgery is exact."""
+    if not isinstance(expr, Restrict):
+        return None
+    child = expr.child
+    if isinstance(child, Restrict):
+        return Restrict(child=child.child, relations=expr.relations)
+    if set(expr.relations) == set(child.target.names()):
+        return child
+    if isinstance(child, UnionOf):
+        return UnionOf(
+            left=Restrict(child=child.left, relations=expr.relations),
+            right=Restrict(child=child.right, relations=expr.relations),
+        )
+    if isinstance(child, Compose):
+        return Compose(
+            first=child.first,
+            second=Restrict(child=child.second, relations=expr.relations),
+        )
+    if isinstance(child, MappingAtom):
+        try:
+            return MappingAtom(
+                mapping=restrict_mapping(child.mapping, expr.relations)
+            )
+        except MappingError:
+            return None
+    return None
+
+
+def _dead_branch_prune(expr: MappingExpr) -> Optional[MappingExpr]:
+    """Drop constraints that can never fire.
+
+    In ``compose(a, m)`` with a leaf ``m``, a dependency of ``m``
+    whose premise mentions a relation outside ``a``'s producible set
+    is vacuously satisfied by every chase result of ``a`` — dropping
+    it changes no composition pair.  A union with a constraint-free
+    operand is the other operand.
+    """
+    if isinstance(expr, Compose) and isinstance(expr.second, MappingAtom):
+        mapping = expr.second.mapping
+        available = producible_relations(expr.first)
+        alive = tuple(
+            dep
+            for dep in mapping.dependencies
+            if frozenset(dep.premise_relations()) <= available
+        )
+        if len(alive) < len(mapping.dependencies):
+            from repro.core.mapping import SchemaMapping
+
+            pruned = SchemaMapping(
+                source=mapping.source,
+                target=mapping.target,
+                dependencies=alive,
+                name=f"{mapping.name}†" if mapping.name else "",
+            )
+            return Compose(first=expr.first, second=MappingAtom(mapping=pruned))
+    if isinstance(expr, UnionOf):
+        for side, other in (
+            (expr.left, expr.right),
+            (expr.right, expr.left),
+        ):
+            if (
+                isinstance(side, MappingAtom)
+                and not side.mapping.dependencies
+            ):
+                return other
+    return None
+
+
+RULES: Tuple[Tuple[str, object], ...] = (
+    ("assoc-right", _assoc_right),
+    ("factor-compose-over-union", _factor_compose_over_union),
+    ("rename-fuse", _rename_fuse),
+    ("rename-pushdown", _rename_pushdown),
+    ("restrict-pushdown", _restrict_pushdown),
+    ("dead-branch-prune", _dead_branch_prune),
+)
+
+
+def _rebuild(expr: MappingExpr, children: Tuple[MappingExpr, ...]) -> MappingExpr:
+    if isinstance(expr, Compose):
+        return Compose(first=children[0], second=children[1])
+    if isinstance(expr, UnionOf):
+        return UnionOf(left=children[0], right=children[1])
+    if isinstance(expr, Restrict):
+        return Restrict(child=children[0], relations=expr.relations)
+    if isinstance(expr, Rename):
+        return Rename(child=children[0], renaming=expr.renaming)
+    return expr
+
+
+def _rewrite_once(
+    expr: MappingExpr, trace: List[RewriteStep]
+) -> Tuple[MappingExpr, bool]:
+    children = expr.children()
+    if children:
+        rebuilt = []
+        changed = False
+        for child in children:
+            new_child, child_changed = _rewrite_once(child, trace)
+            rebuilt.append(new_child)
+            changed = changed or child_changed
+        if changed:
+            return _rebuild(expr, tuple(rebuilt)), True
+    for rule_name, rule in RULES:
+        result = rule(expr)  # type: ignore[operator]
+        if result is not None:
+            trace.append(
+                RewriteStep(
+                    rule=rule_name, before=expr.label(), after=result.label()
+                )
+            )
+            return result, True
+    return expr, False
+
+
+def normalize(
+    expr: MappingExpr, max_steps: int = 200
+) -> Tuple[MappingExpr, Tuple[RewriteStep, ...]]:
+    """Drive the rule library to a fixpoint, post-order.
+
+    Returns the normalized expression and the applied-rule trace.
+    ``max_steps`` bounds pathological rule interactions; the library
+    is terminating on its own (each rule strictly reduces a
+    lexicographic measure), so the bound is a safety net.
+    """
+    trace: List[RewriteStep] = []
+    current = expr
+    for _ in range(max_steps):
+        current, changed = _rewrite_once(current, trace)
+        if not changed:
+            break
+    return current, tuple(trace)

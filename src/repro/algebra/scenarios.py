@@ -1,0 +1,191 @@
+"""Composed-mapping scenarios for the algebra's tests and benchmarks.
+
+The headline family is *fan-in × chain-join*: a full first mapping
+with two producers per middle relation composed with a chain join
+whose premise spans every middle relation.  MinGen's output for the
+composition multiplies the producer choices along the chain and
+explodes exponentially in the width (measured: width 3 → 80 rules /
+~0.2s, width 4 → 592 rules / ~13s, width 5 → minutes), while staged
+evaluation chases each half in milliseconds.  Universes stay tiny
+(domain ``{a, b}``, ``max_facts=1``), so materialization is the only
+meaningful cost — exactly the regime the planner must win in.
+
+Final target relation names are disjoint from every source name, so
+no chase cascade blurs the staged/materialized equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.datamodel.schemas import Schema
+from repro.core.mapping import SchemaMapping
+from repro.algebra.expr import (
+    Compose,
+    MappingAtom,
+    MappingExpr,
+    Rename,
+    Restrict,
+    UnionOf,
+)
+
+
+def fan_in_mapping(width: int) -> SchemaMapping:
+    """``P_i(x,y) -> S_i(x,y)`` and ``Q_i(x,y) -> S_i(x,y)`` for each i."""
+    source = Schema.of(
+        {f"P{i}": 2 for i in range(1, width + 1)}
+        | {f"Q{i}": 2 for i in range(1, width + 1)}
+    )
+    target = Schema.of({f"S{i}": 2 for i in range(1, width + 1)})
+    rules = []
+    for i in range(1, width + 1):
+        rules.append(f"P{i}(x, y) -> S{i}(x, y)")
+        rules.append(f"Q{i}(x, y) -> S{i}(x, y)")
+    return SchemaMapping.from_text(
+        source, target, "\n".join(rules), name=f"FanIn{width}"
+    )
+
+
+def chain_join_mapping(width: int) -> SchemaMapping:
+    """``S1(x0,x1) & ... & Sw(x_{w-1},x_w) -> W(x0,xw)``."""
+    source = Schema.of({f"S{i}": 2 for i in range(1, width + 1)})
+    target = Schema.of({"W": 2})
+    premise = " & ".join(
+        f"S{i}(x{i - 1}, x{i})" for i in range(1, width + 1)
+    )
+    return SchemaMapping.from_text(
+        source, target, f"{premise} -> W(x0, x{width})", name=f"ChainJoin{width}"
+    )
+
+
+def chain_join_with_dead_branch(width: int) -> SchemaMapping:
+    """The chain join plus a constraint that can never fire.
+
+    The extra rule's premise mentions ``S{width}``, which
+    :func:`starved_fan_in_mapping` never populates — dead-branch
+    pruning removes it before any MinGen runs.
+    """
+    source = Schema.of({f"S{i}": 2 for i in range(1, width + 1)})
+    target = Schema.of({"W": 2, "W2": 2})
+    premise = " & ".join(
+        f"S{i}(x{i - 1}, x{i})" for i in range(1, width)
+    )
+    rules = [
+        f"{premise} -> W(x0, x{width - 1})",
+        f"S{width}(x, y) & S1(y, z) -> W2(x, z)",
+    ]
+    return SchemaMapping.from_text(
+        source, target, "\n".join(rules), name=f"ChainJoinDead{width}"
+    )
+
+
+def starved_fan_in_mapping(width: int) -> SchemaMapping:
+    """Fan-in over ``S1..S{width-1}`` only; ``S{width}`` stays empty.
+
+    The target schema still declares ``S{width}`` (so the middle
+    schemas line up), but no rule produces it.
+    """
+    source = Schema.of(
+        {f"P{i}": 2 for i in range(1, width)}
+        | {f"Q{i}": 2 for i in range(1, width)}
+    )
+    target = Schema.of({f"S{i}": 2 for i in range(1, width + 1)})
+    rules = []
+    for i in range(1, width):
+        rules.append(f"P{i}(x, y) -> S{i}(x, y)")
+        rules.append(f"Q{i}(x, y) -> S{i}(x, y)")
+    return SchemaMapping.from_text(
+        source, target, "\n".join(rules), name=f"StarvedFanIn{width}"
+    )
+
+
+def fan_in_chain_expression(width: int) -> MappingExpr:
+    """The headline blow-up: ``compose(FanIn{w}, ChainJoin{w})``."""
+    return Compose(
+        first=MappingAtom(mapping=fan_in_mapping(width)),
+        second=MappingAtom(mapping=chain_join_mapping(width)),
+    )
+
+
+def dead_branch_expression(width: int) -> MappingExpr:
+    """A composition whose expensive constraint is unreachable."""
+    return Compose(
+        first=MappingAtom(mapping=starved_fan_in_mapping(width)),
+        second=MappingAtom(mapping=chain_join_with_dead_branch(width)),
+    )
+
+
+def union_of_chains_expression(width: int) -> MappingExpr:
+    """``union(compose(A, B), compose(A, B'))`` — factoring fodder.
+
+    Both operands share the fan-in head, so the factoring rule turns
+    two MinGen blow-ups into one staged pipeline with a unioned
+    second stage.
+    """
+    fan_in = MappingAtom(mapping=fan_in_mapping(width))
+    chain = chain_join_mapping(width)
+    reversed_premise = " & ".join(
+        f"S{i}(x{i - 1}, x{i})" for i in range(width, 0, -1)
+    )
+    other = SchemaMapping.from_text(
+        chain.source,
+        chain.target,
+        f"{reversed_premise} -> W(x{width}, x0)",
+        name=f"ChainJoinRev{width}",
+    )
+    return UnionOf(
+        left=Compose(first=fan_in, second=MappingAtom(mapping=chain)),
+        right=Compose(first=fan_in, second=MappingAtom(mapping=other)),
+    )
+
+
+def renamed_chain_expression(width: int) -> MappingExpr:
+    """A rename wrapped around the blow-up composition."""
+    return Rename(
+        child=fan_in_chain_expression(width), renaming=(("W", "Result"),)
+    )
+
+
+def restricted_decomposition_expression() -> MappingExpr:
+    """``restrict(Decomposition, Q)`` — exact target projection."""
+    from repro.catalog.mappings import decomposition
+
+    return Restrict(
+        child=MappingAtom(mapping=decomposition()), relations=("Q",)
+    )
+
+
+def inverse_pairs() -> Tuple[Tuple[str, str, str], ...]:
+    """(name, forward, reverse) expression texts for inverse checks."""
+    return (
+        ("projection-quasi", "Projection", "Projection'"),
+        ("union-quasi", "Union", "Union'"),
+        ("decomposition-join", "Decomposition", "Decomposition'"),
+        ("thm48-inverse", "Thm4.8", "Thm4.8'"),
+    )
+
+
+def scenario_resolver(width: int = 3) -> Dict[str, SchemaMapping]:
+    """The default parse table extended with this module's mappings."""
+    from repro.algebra.expr import default_resolver
+
+    table = default_resolver()
+    for mapping in (
+        fan_in_mapping(width),
+        chain_join_mapping(width),
+        starved_fan_in_mapping(width),
+        chain_join_with_dead_branch(width),
+    ):
+        table[mapping.name] = mapping
+    return table
+
+
+def sweep_scenarios(width: int = 3) -> Tuple[Tuple[str, MappingExpr], ...]:
+    """Named sweep-kind scenarios, cheapest first."""
+    return (
+        ("fanin-chain", fan_in_chain_expression(width)),
+        ("dead-branch", dead_branch_expression(width)),
+        ("union-of-chains", union_of_chains_expression(width)),
+        ("renamed-chain", renamed_chain_expression(width)),
+        ("restricted-decomposition", restricted_decomposition_expression()),
+    )

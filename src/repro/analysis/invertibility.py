@@ -97,8 +97,17 @@ def invertibility_report(
     shards: Optional[int] = None,
     shard_id: Optional[int] = None,
     checkpoint: Optional[CheckpointJournal] = None,
+    syntax_mapping: Optional[SchemaMapping] = None,
 ) -> InvertibilityReport:
     """Run every invertibility criterion over *universe*.
+
+    *syntax_mapping* (default: *mapping*) supplies the syntactic
+    fields of the report — name, LAV/full classification, constant
+    propagation — while *mapping* drives the bounded sweeps.  The
+    algebra planner passes a staged evaluation pipeline as *mapping*
+    (cheap sweeps, no MinGen in the hot loop) with the materialized
+    composition as *syntax_mapping*, so the report is byte-identical
+    to running the materialized mapping everywhere.
 
     *workers* fans the bounded checkers out through the engine's
     :class:`~repro.engine.parallel.ParallelUniverseRunner`; the report
@@ -143,11 +152,12 @@ def invertibility_report(
         shard_id=shard_id,
         checkpoint=checkpoint,
     )
+    syntax = syntax_mapping if syntax_mapping is not None else mapping
     return InvertibilityReport(
-        mapping_name=mapping.name or str(mapping),
-        is_lav=mapping.is_lav(),
-        is_full=mapping.is_full(),
-        constant_propagation=has_constant_propagation(mapping),
+        mapping_name=syntax.name or str(syntax),
+        is_lav=syntax.is_lav(),
+        is_full=syntax.is_full(),
+        constant_propagation=has_constant_propagation(syntax),
         unique_solutions=unique,
         unique_solutions_witness=violations[0] if violations else None,
         quasi_subset_property=subset,

@@ -209,7 +209,14 @@ def _check_payload(arguments: argparse.Namespace) -> dict:
     if arguments.kind == "experiment":
         payload["experiment"] = arguments.target
         return payload
-    payload["mapping"] = arguments.target
+    if arguments.kind == "algebra":
+        payload["expression"] = arguments.target
+        if getattr(arguments, "check", None):
+            payload["check"] = arguments.check
+        if getattr(arguments, "explain_plan", False):
+            payload["explain_plan"] = True
+    else:
+        payload["mapping"] = arguments.target
     if arguments.reverse:
         payload["reverse"] = arguments.reverse
     if arguments.domain:
@@ -225,6 +232,7 @@ def _check_payload(arguments: argparse.Namespace) -> dict:
         "deadline",
         "max_instances",
         "max_chase_steps",
+        "plan",
     ):
         value = getattr(arguments, option, None)
         if value is not None:
@@ -385,6 +393,17 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "then cover that shard alone); omit to run/claim every shard "
         "here (REPRO_SHARD_ID)",
     )
+    parser.add_argument(
+        "--plan",
+        choices=("auto", "materialize", "membership"),
+        default=None,
+        help="evaluation plan for mapping expressions (algebra checks): "
+        "let the cost model pick (auto, the default), always "
+        "materialize compositions with MinGen first (materialize), or "
+        "avoid materializing via staged chases / per-pair membership "
+        "checks (membership); verdicts and reports are identical "
+        "either way (REPRO_PLAN)",
+    )
 
 
 def _configure_engine(arguments: argparse.Namespace) -> None:
@@ -409,6 +428,7 @@ def _configure_engine(arguments: argparse.Namespace) -> None:
         ("store", "REPRO_STORE"),
         ("shards", "REPRO_SHARDS"),
         ("shard_id", "REPRO_SHARD_ID"),
+        ("plan", "REPRO_PLAN"),
     ):
         value = getattr(arguments, flag, None)
         if value is not None:
@@ -523,13 +543,39 @@ def main(argv: List[str] | None = None) -> int:
     )
     check_parser.add_argument(
         "kind",
-        choices=("experiment", "invertibility", "subset", "unique", "roundtrip"),
+        choices=(
+            "experiment",
+            "invertibility",
+            "subset",
+            "unique",
+            "roundtrip",
+            "algebra",
+        ),
     )
     check_parser.add_argument(
-        "target", help="experiment id (experiment) or catalog mapping name"
+        "target",
+        help="experiment id (experiment), catalog mapping name, or a "
+        "mapping expression like 'compose(Union, Decomposition)' "
+        "(algebra)",
     )
     check_parser.add_argument(
-        "--reverse", default=None, help="reverse mapping (roundtrip)"
+        "--reverse",
+        default=None,
+        help="reverse mapping (roundtrip) or reverse expression "
+        "(algebra --check inverse)",
+    )
+    check_parser.add_argument(
+        "--check",
+        choices=("unique", "subset", "invertibility", "inverse"),
+        default=None,
+        help="which bounded check an algebra job runs over its "
+        "expression (default: invertibility)",
+    )
+    check_parser.add_argument(
+        "--explain-plan",
+        action="store_true",
+        help="append the chosen evaluation plan — rewrite trace, cost "
+        "estimates vs. actuals — to an algebra report",
     )
     check_parser.add_argument(
         "--domain", default=None, help="comma-separated constants (default a,b)"

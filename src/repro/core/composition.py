@@ -46,6 +46,7 @@ from repro.core.mapping import (
     is_solution,
     universal_solution,
 )
+from repro.engine.instrumentation import engine_stats
 from repro.errors import CompositionBudgetError
 
 
@@ -99,9 +100,12 @@ def composition_membership(
     solutions); *second* may use the full dependency language
     (disjunctions, Constant(), inequalities).
     """
-    for candidate in _candidate_intermediates(first, left, right, max_nulls):
-        if is_solution(second, candidate, right):
-            return True
+    stats = engine_stats()
+    with stats.phase("compose.membership"):
+        for candidate in _candidate_intermediates(first, left, right, max_nulls):
+            stats.bump("membership_candidates_tried")
+            if is_solution(second, candidate, right):
+                return True
     return False
 
 
@@ -130,21 +134,24 @@ def compose_full(
             f"{first.target} vs {second.source}"
         )
 
+    stats = engine_stats()
     composed: List[Dependency] = []
     seen = set()
-    for sigma in second.dependencies:
-        frontier = sigma.frontier()
-        goal = sigma.premise.atoms
-        for generator in minimal_generators(
-            first, goal, frontier, config=mingen_config
-        ):
-            candidate = Dependency(
-                Premise(generator.atoms), (sigma.disjuncts[0],)
-            )
-            key = candidate.canonical_form()
-            if key not in seen:
-                seen.add(key)
-                composed.append(candidate)
+    with stats.phase("compose.full"):
+        for sigma in second.dependencies:
+            frontier = sigma.frontier()
+            goal = sigma.premise.atoms
+            for generator in minimal_generators(
+                first, goal, frontier, config=mingen_config
+            ):
+                candidate = Dependency(
+                    Premise(generator.atoms), (sigma.disjuncts[0],)
+                )
+                key = candidate.canonical_form()
+                if key not in seen:
+                    seen.add(key)
+                    composed.append(candidate)
+                    stats.bump("compose_rules_emitted")
     return SchemaMapping(
         first.source,
         second.target,

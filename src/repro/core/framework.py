@@ -845,6 +845,7 @@ def is_quasi_inverse(
     backend: Optional[str] = None,
     shards: Optional[int] = None,
     shard_id: Optional[int] = None,
+    composition_test: Optional["CompositionTest"] = None,
 ) -> InverseCheckReport:
     """Bounded check that *candidate* is a quasi-inverse of *mapping*.
 
@@ -867,6 +868,7 @@ def is_quasi_inverse(
         backend=backend,
         shards=shards,
         shard_id=shard_id,
+        composition_test=composition_test,
     )
 
 
@@ -886,6 +888,7 @@ def is_generalized_inverse(
     backend: Optional[str] = None,
     shards: Optional[int] = None,
     shard_id: Optional[int] = None,
+    composition_test: Optional["CompositionTest"] = None,
 ) -> InverseCheckReport:
     """Bounded check of Definition 3.3: is *candidate* a
     (∼1,∼2)-inverse of *mapping*?
@@ -929,6 +932,7 @@ def is_generalized_inverse(
         universe,
         witnesses,
         max_nulls,
+        composition_test,
     )
     with engine_stats().phase("check.generalized_inverse"), use_budget(
         budget
@@ -974,6 +978,7 @@ def _in_comp_closure(
     left: Instance,
     right: Instance,
     max_nulls: int,
+    composition_test: Optional["CompositionTest"] = None,
 ) -> bool:
     for left_prime in witnesses:
         if not relation1.related(left, left_prime):
@@ -981,11 +986,39 @@ def _in_comp_closure(
         for right_prime in witnesses:
             if not relation2.related(right, right_prime):
                 continue
-            if composition_membership(
-                mapping, candidate, left_prime, right_prime, max_nulls=max_nulls
+            if _composition_test_membership(
+                composition_test, mapping, candidate,
+                left_prime, right_prime, max_nulls,
             ):
                 return True
     return False
+
+
+#: A pluggable composition-membership decision procedure: called as
+#: ``test(mapping, candidate, left, right, max_nulls)`` and expected to
+#: return exactly what :func:`composition_membership` would.  The
+#: algebra planner passes evaluation-plan-specific tests (materialized
+#: model checks, expression-directed membership); ``None`` keeps the
+#: default.  Must be picklable — it ships to forked workers as shared
+#: state.
+CompositionTest = Callable[
+    [SchemaMapping, SchemaMapping, Instance, Instance, int], bool
+]
+
+
+def _composition_test_membership(
+    test: Optional[CompositionTest],
+    mapping: SchemaMapping,
+    candidate: SchemaMapping,
+    left: Instance,
+    right: Instance,
+    max_nulls: int,
+) -> bool:
+    if test is None:
+        return composition_membership(
+            mapping, candidate, left, right, max_nulls=max_nulls
+        )
+    return test(mapping, candidate, left, right, max_nulls)
 
 
 _InverseEvents = Tuple[List[Tuple[Instance, bool, bool]], Optional[BaseException]]
@@ -996,16 +1029,23 @@ def _generalized_inverse_task(left: Instance) -> _InverseEvents:
     closure memberships per right, in serial order.  An exception is
     returned (not raised) with the events that preceded it, so the
     merge can replay the serial control flow exactly."""
-    mapping, candidate, relation1, relation2, universe, witnesses, max_nulls = (
-        get_shared()
-    )
+    (
+        mapping,
+        candidate,
+        relation1,
+        relation2,
+        universe,
+        witnesses,
+        max_nulls,
+        composition_test,
+    ) = get_shared()
     events: List[Tuple[Instance, bool, bool]] = []
     for right in universe:
         try:
             in_id = _in_id_closure(relation1, relation2, witnesses, left, right)
             in_comp = _in_comp_closure(
                 mapping, candidate, relation1, relation2, witnesses,
-                left, right, max_nulls,
+                left, right, max_nulls, composition_test,
             )
         except Exception as error:  # replayed in-order by the merge
             return events, error
@@ -1015,12 +1055,12 @@ def _generalized_inverse_task(left: Instance) -> _InverseEvents:
 
 def _is_inverse_task(left: Instance) -> _InverseEvents:
     """Per-left worker for :func:`is_inverse` (exact membership)."""
-    mapping, candidate, universe, max_nulls = get_shared()
+    mapping, candidate, universe, max_nulls, composition_test = get_shared()
     events: List[Tuple[Instance, bool, bool]] = []
     for right in universe:
         try:
-            in_comp = composition_membership(
-                mapping, candidate, left, right, max_nulls=max_nulls
+            in_comp = _composition_test_membership(
+                composition_test, mapping, candidate, left, right, max_nulls
             )
         except Exception as error:
             return events, error
@@ -1172,6 +1212,7 @@ def is_inverse(
     backend: Optional[str] = None,
     shards: Optional[int] = None,
     shard_id: Optional[int] = None,
+    composition_test: Optional[CompositionTest] = None,
 ) -> InverseCheckReport:
     """Bounded check that *candidate* is an inverse of *mapping*.
 
@@ -1185,14 +1226,18 @@ def is_inverse(
     ``symmetry="orbits"`` reduces the outer loop to orbit
     representatives when both mappings are permutation-invariant.
     *shards* / *shard_id* partition the outer loop exactly as in
-    :func:`subset_property`.
+    :func:`subset_property`.  *composition_test* substitutes a
+    plan-chosen decision procedure for the default
+    :func:`composition_membership` — it must decide the same relation
+    (the algebra layer passes materialized or expression-directed
+    tests), so the report is identical for every choice.
     """
     default_store()
     universe = list(universe)
     plan = _plan_sweep(symmetry, universe, mappings=(mapping, candidate))
     budget = _resolve_budget(budget)
     shards, shard_id = resolve_shards(shards, shard_id)
-    shared = (mapping, candidate, universe, max_nulls)
+    shared = (mapping, candidate, universe, max_nulls, composition_test)
     with engine_stats().phase("check.is_inverse"), use_budget(
         budget
     ), use_ground_keys(plan.ground_keys), use_backend(backend):

@@ -44,6 +44,7 @@ from repro.engine.kernel import (
     kernel_instance,
     small_id,
     sql_active,
+    use_backend,
 )
 from repro.errors import MappingError
 
@@ -126,6 +127,112 @@ class SchemaMapping:
         return f"{label}: {self.source} -> {self.target} with {{{rendered}}}"
 
 
+@dataclass(frozen=True)
+class StagedMapping(SchemaMapping):
+    """A composition pipeline evaluated stage by stage, never composed.
+
+    Semantically this *is* the composition ``stages[0] ∘ ... ∘
+    stages[-1]``: its universal solution is computed by chasing each
+    stage in turn, which is a universal solution of the composition
+    whenever every stage is a tgd mapping and all but the last are
+    full (the intermediate chase results are then ground, so they are
+    genuine intermediate instances).  Construction enforces exactly
+    that, so a :class:`StagedMapping` can be handed to any
+    solution-space checker (``solutions_contained``,
+    ``data_exchange_equivalent``, the sweep framework) in place of the
+    MinGen-materialized composition and produce identical verdicts —
+    without ever paying ``compose_full``'s blow-up.
+
+    ``stage_backends`` optionally pins an execution backend per stage
+    (``None`` inherits the ambient backend).
+    """
+
+    stages: Tuple[SchemaMapping, ...] = ()
+    stage_backends: Tuple[Optional[str], ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "stages", tuple(self.stages))
+        object.__setattr__(self, "stage_backends", tuple(self.stage_backends))
+        if not self.stages:
+            raise MappingError("a staged mapping needs at least one stage")
+        if self.dependencies:
+            raise MappingError(
+                "a staged mapping carries no dependencies of its own; "
+                "its stages do"
+            )
+        if self.stage_backends and len(self.stage_backends) != len(self.stages):
+            raise MappingError("stage_backends must match stages in length")
+        if self.stages[0].source != self.source:
+            raise MappingError("first stage's source must match the pipeline's")
+        if self.stages[-1].target != self.target:
+            raise MappingError("last stage's target must match the pipeline's")
+        for before, after in zip(self.stages, self.stages[1:]):
+            if before.target.relations != after.source.relations:
+                raise MappingError(
+                    "staged pipeline breaks: "
+                    f"{before.target} feeds {after.source}"
+                )
+        for position, stage in enumerate(self.stages):
+            if not stage.is_tgd_mapping():
+                raise MappingError("staged evaluation requires tgd stages")
+            if position < len(self.stages) - 1 and not stage.is_full():
+                raise MappingError(
+                    "staged evaluation requires full stages before the last "
+                    "(intermediate chase results must be ground)"
+                )
+        # stages, not (empty) dependencies, are this mapping's content
+        object.__setattr__(
+            self, "_hash", hash((self.source, self.target, self.stages))
+        )
+
+    # -- classification delegates to the stages ---------------------------
+
+    def is_tgd_mapping(self) -> bool:
+        return all(stage.is_tgd_mapping() for stage in self.stages)
+
+    def is_full(self) -> bool:
+        return all(stage.is_full() for stage in self.stages)
+
+    def is_lav(self) -> bool:
+        # Conservative: LAV-ness does not compose in general.
+        return False
+
+    def language_features(self) -> LanguageFeatures:
+        combined = LanguageFeatures()
+        for stage in self.stages:
+            combined = combined | stage.language_features()
+        return combined
+
+    def __str__(self) -> str:
+        label = self.name or "M"
+        rendered = " ∘ ".join(stage.name or "M" for stage in self.stages)
+        return f"{label}: {self.source} -> {self.target} staged as {rendered}"
+
+
+def _staged_compute(mapping: StagedMapping):
+    """Per-stage chase for a staged pipeline.
+
+    Each stage routes through :func:`universal_solution`, so every
+    intermediate result lands in the engine's content-addressed chase
+    cache under the *stage's* mapping key — a pipeline sharing a
+    prefix with another reuses the prefix's chases for free.
+    """
+    backends = mapping.stage_backends or (None,) * len(mapping.stages)
+
+    def compute(source: Instance) -> Instance:
+        current = source
+        for stage, backend in zip(mapping.stages, backends):
+            if backend is None:
+                current = universal_solution(stage, current)
+            else:
+                with use_backend(backend):
+                    current = universal_solution(stage, current)
+        return current.restrict_to(mapping.target)
+
+    return compute
+
+
 def identity_mapping(schema: Schema, name: str = "Id") -> SchemaMapping:
     """The identity schema mapping Id = (S, Ŝ, {R(x) -> R(x)}).
 
@@ -170,7 +277,10 @@ def _kernel_chase(mapping: SchemaMapping, instance: Instance, kinst):
     probe instead of a canonical-key construction plus an LRU
     round-trip."""
     _require_tgds(mapping, "universal_solution")
-    compute = _chase_compute(mapping)
+    if getattr(mapping, "stages", None):
+        compute = _staged_compute(mapping)
+    else:
+        compute = _chase_compute(mapping)
     if kinst.is_ground:
         result = cached_chase_result(mapping, instance, compute)
     else:
@@ -197,7 +307,10 @@ def universal_solution(mapping: SchemaMapping, instance: Instance) -> Instance:
             entry = _kernel_chase(mapping, instance, kinst)
         return entry[0]
     _require_tgds(mapping, "universal_solution")
-    compute = _chase_compute(mapping)
+    if getattr(mapping, "stages", None):
+        compute = _staged_compute(mapping)
+    else:
+        compute = _chase_compute(mapping)
     if instance.is_ground():
         return cached_chase_result(mapping, instance, compute)
     key = ("exact", mapping_key(mapping), instance.facts)

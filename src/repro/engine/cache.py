@@ -317,13 +317,26 @@ _MAPPING_KEYS: "weakref.WeakKeyDictionary[Any, Hashable]" = (
 
 def mapping_key(mapping: Any) -> Hashable:
     """A content key for a schema mapping: canonical dependencies plus
-    the target relations (which bound the chase output restriction)."""
+    the target relations (which bound the chase output restriction).
+
+    Staged pipelines (:class:`repro.core.mapping.StagedMapping`) key by
+    their stages' content keys instead — they carry no dependencies of
+    their own, and two pipelines over content-equal stages must share
+    chase/verdict cache entries."""
     key = _MAPPING_KEYS.get(mapping)
     if key is None:
-        key = (
-            tuple(dep.canonical_form() for dep in mapping.dependencies),
-            tuple(mapping.target.relations),
-        )
+        stages = getattr(mapping, "stages", None)
+        if stages:
+            key = (
+                "staged",
+                tuple(mapping_key(stage) for stage in stages),
+                tuple(mapping.target.relations),
+            )
+        else:
+            key = (
+                tuple(dep.canonical_form() for dep in mapping.dependencies),
+                tuple(mapping.target.relations),
+            )
         _MAPPING_KEYS[mapping] = key
     return key
 

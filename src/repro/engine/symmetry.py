@@ -112,6 +112,10 @@ def mapping_permutation_invariant(mapping: Any) -> bool:
     """
     if mapping is None:
         return True
+    stages = getattr(mapping, "stages", None)
+    if stages:
+        # A staged pipeline is invariant exactly when every stage is.
+        return all(mapping_permutation_invariant(stage) for stage in stages)
     for dependency in mapping.dependencies:
         atom_groups = [dependency.premise.atoms]
         atom_groups.extend(dependency.disjuncts)

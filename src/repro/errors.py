@@ -25,7 +25,9 @@ working unchanged.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
 
 
 def _rebuild_error(cls: type, message: str, context: Dict[str, Any]) -> "ReproError":
@@ -151,6 +153,36 @@ class ServiceUnavailable(ServiceError, ConnectionError):
 #: remain hard errors because the caller asked for that exact bound.
 GOVERNED_KINDS = frozenset({"deadline", "instances", "chase_steps", "rss"})
 
+#: Per-thread widening of :data:`GOVERNED_KINDS` (see
+#: :func:`governed_kinds_scope`).
+_GOVERNED_SCOPE = threading.local()
+
+
+def _extra_governed_kinds() -> frozenset:
+    return getattr(_GOVERNED_SCOPE, "kinds", frozenset())
+
+
+@contextmanager
+def governed_kinds_scope(*kinds: str) -> Iterator[None]:
+    """Treat the named budget kinds as governed inside the scope.
+
+    Algorithm-parameter budgets (``"composition_nulls"``, ``"mingen"``)
+    are hard errors by default — the caller asked for that exact bound.
+    A planner that *chose* a bounded algorithm on the caller's behalf
+    (e.g. a membership-mode composition plan) owes the caller a partial
+    verdict instead: wrapping the sweep in
+    ``governed_kinds_scope("composition_nulls")`` makes
+    :func:`governed_coverage` degrade those trips to ``"budget"``
+    coverage, so exit codes 3/4 and coverage fields apply.  The scope
+    is per-thread and restores the previous widening on exit.
+    """
+    previous = _extra_governed_kinds()
+    _GOVERNED_SCOPE.kinds = previous | frozenset(kinds)
+    try:
+        yield
+    finally:
+        _GOVERNED_SCOPE.kinds = previous
+
 
 def governed_coverage(error: BaseException) -> Optional[str]:
     """The partial-verdict ``coverage`` a checker should degrade to
@@ -159,7 +191,9 @@ def governed_coverage(error: BaseException) -> Optional[str]:
         return "deadline"
     if isinstance(error, WorkerFault):
         return "faulted"
-    if isinstance(error, BudgetExceeded) and error.kind in GOVERNED_KINDS:
+    if isinstance(error, BudgetExceeded) and (
+        error.kind in GOVERNED_KINDS or error.kind in _extra_governed_kinds()
+    ):
         return "budget"
     return None
 
@@ -200,4 +234,5 @@ __all__ = [
     "WorkerFault",
     "coverage_of",
     "governed_coverage",
+    "governed_kinds_scope",
 ]

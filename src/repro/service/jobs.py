@@ -276,12 +276,34 @@ def _run_roundtrip_job(
     return "\n".join(lines), sound.ok and faithful.ok
 
 
+def _run_algebra_job(
+    spec: Dict[str, Any], checkpoint: Optional[CheckpointJournal]
+) -> Tuple[str, bool]:
+    from repro.algebra.sweeps import check_expression
+
+    report = check_expression(
+        spec["expression"],
+        spec["check"],
+        reverse=spec.get("reverse"),
+        domain=tuple(spec["domain"]),
+        max_facts=spec["max_facts"],
+        plan=spec.get("plan"),
+        checkpoint=checkpoint,
+        **_sweep_options(spec),
+    )
+    rendering = report.render()
+    if spec.get("explain_plan"):
+        rendering = rendering + "\n" + report.explain()
+    return rendering, report.holds
+
+
 _EXECUTORS: Dict[str, Callable[..., Tuple[str, bool]]] = {
     "experiment": _run_experiment_job,
     "invertibility": _run_invertibility_job,
     "subset": _run_subset_job,
     "unique": _run_unique_job,
     "roundtrip": _run_roundtrip_job,
+    "algebra": _run_algebra_job,
 }
 
 

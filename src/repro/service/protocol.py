@@ -38,6 +38,15 @@ JOB_KINDS: Tuple[str, ...] = (
     "subset",         # (~M,~M)-subset property sweep
     "unique",         # unique-solutions property sweep
     "roundtrip",      # sound_on + faithful_on against a reverse mapping
+    "algebra",        # plan-directed check of a mapping expression
+)
+
+#: Bounded checks an algebra job can run over its expression.
+ALGEBRA_CHECKS: Tuple[str, ...] = (
+    "unique",
+    "subset",
+    "invertibility",
+    "inverse",
 )
 
 STATE_QUEUED = "queued"
@@ -94,6 +103,7 @@ _OPTION_TYPES: Dict[str, type] = {
     "deadline": float,
     "symmetry": str,
     "backend": str,
+    "plan": str,
 }
 
 _DEFAULT_DOMAIN = ("a", "b")
@@ -160,6 +170,28 @@ def _normalize_mapping_spec(raw: Any, field: str) -> Any:
     )
 
 
+def _normalize_expression(raw: Any, field: str) -> str:
+    """Validate an algebra expression at submit time.
+
+    The canonical form is the parser's own re-rendered label, so
+    differently-spaced submissions of the same expression normalize
+    to equal specs (and hence equal job keys).
+    """
+    if not isinstance(raw, str) or not raw.strip():
+        raise ServiceProtocolError(
+            f"algebra jobs need a non-empty {field!r} string"
+        )
+    from repro.algebra.expr import parse_expression
+    from repro.core.mapping import MappingError
+
+    try:
+        return parse_expression(raw).label()
+    except (ParseError, MappingError) as error:
+        raise ServiceProtocolError(
+            f"{field} does not parse: {error}"
+        ) from error
+
+
 def normalize_job(payload: Any) -> Dict[str, Any]:
     """Validate a submitted payload into its canonical job spec.
 
@@ -189,9 +221,27 @@ def normalize_job(payload: Any) -> Dict[str, Any]:
         spec["experiment"] = experiment
         return spec
 
-    spec["mapping"] = _normalize_mapping_spec(payload.get("mapping"), "mapping")
-    if kind == "roundtrip":
-        spec["reverse"] = _normalize_mapping_spec(payload.get("reverse"), "reverse")
+    if kind == "algebra":
+        spec["expression"] = _normalize_expression(
+            payload.get("expression"), "expression"
+        )
+        check = payload.get("check", "invertibility")
+        if check not in ALGEBRA_CHECKS:
+            raise ServiceProtocolError(
+                f"unknown algebra check {check!r}; "
+                f"known: {', '.join(ALGEBRA_CHECKS)}"
+            )
+        spec["check"] = check
+        if check == "inverse":
+            spec["reverse"] = _normalize_expression(
+                payload.get("reverse"), "reverse"
+            )
+        if payload.get("explain_plan"):
+            spec["explain_plan"] = True
+    else:
+        spec["mapping"] = _normalize_mapping_spec(payload.get("mapping"), "mapping")
+        if kind == "roundtrip":
+            spec["reverse"] = _normalize_mapping_spec(payload.get("reverse"), "reverse")
 
     domain = payload.get("domain", list(_DEFAULT_DOMAIN))
     if isinstance(domain, str):
@@ -225,6 +275,10 @@ def normalize_job(payload: Any) -> Dict[str, Any]:
         if option == "backend" and value not in ("object", "kernel", "sql"):
             raise ServiceProtocolError(
                 "backend must be 'object', 'kernel', or 'sql'"
+            )
+        if option == "plan" and value not in ("auto", "materialize", "membership"):
+            raise ServiceProtocolError(
+                "plan must be 'auto', 'materialize', or 'membership'"
             )
         spec[option] = value
     return spec

@@ -1,0 +1,163 @@
+"""Rewrite rules: structural effect and trace bookkeeping."""
+
+from repro.algebra.evaluate import materialize, staged_mapping
+from repro.algebra.expr import (
+    Compose,
+    MappingAtom,
+    Rename,
+    Restrict,
+    UnionOf,
+    parse_expression,
+)
+from repro.algebra.rewrite import distribute_compose_over_union, normalize
+from repro.algebra.scenarios import (
+    dead_branch_expression,
+    fan_in_chain_expression,
+    union_of_chains_expression,
+)
+from repro.catalog.mappings import (
+    decomposition,
+    decomposition_quasi_inverse_join,
+    projection,
+)
+from repro.core.mapping import universal_solution
+from repro.datamodel.instances import Instance
+
+
+def _compose_chain():
+    return parse_expression(
+        "compose(Decomposition, Decomposition', Decomposition)"
+    )
+
+
+class TestAssociativity:
+    def test_left_nesting_rotates_right(self):
+        left_nested = Compose(
+            first=Compose(
+                first=MappingAtom(mapping=decomposition()),
+                second=MappingAtom(mapping=decomposition_quasi_inverse_join()),
+            ),
+            second=MappingAtom(mapping=decomposition()),
+        )
+        normalized, trace = normalize(left_nested)
+        assert isinstance(normalized, Compose)
+        assert isinstance(normalized.first, MappingAtom)
+        assert any(step.rule == "assoc-right" for step in trace)
+
+    def test_right_nested_is_fixpoint(self):
+        normalized, trace = normalize(_compose_chain())
+        assert normalized.key() == _compose_chain().key()
+        assert trace == ()
+
+
+class TestFactorCompose:
+    def test_shared_head_factors(self):
+        expr = union_of_chains_expression(3)
+        normalized, trace = normalize(expr)
+        assert isinstance(normalized, Compose)
+        assert isinstance(normalized.second, UnionOf)
+        assert any(
+            step.rule == "factor-compose-over-union" for step in trace
+        )
+
+    def test_distribute_is_inverse_of_factor(self):
+        expr = union_of_chains_expression(3)
+        factored, _ = normalize(expr)
+        distributed = distribute_compose_over_union(factored)
+        assert isinstance(distributed, UnionOf)
+        refactored, _ = normalize(distributed)
+        assert refactored.key() == factored.key()
+
+    def test_non_full_head_does_not_factor(self):
+        # Projection' has an existential conclusion: not full, so the
+        # factoring gate must refuse
+        head = MappingAtom(mapping=parse_expression("Projection'").mapping)
+        leg = MappingAtom(mapping=projection())
+        expr = UnionOf(
+            left=Compose(first=head, second=leg),
+            right=Compose(first=head, second=leg),
+        )
+        normalized, _ = normalize(expr)
+        assert isinstance(normalized, UnionOf)
+
+
+class TestRenamePushdown:
+    def test_rename_reaches_the_leaf(self):
+        expr = Rename(
+            child=Compose(
+                first=MappingAtom(mapping=decomposition()),
+                second=MappingAtom(mapping=decomposition_quasi_inverse_join()),
+            ),
+            renaming=(("P", "P2"),),
+        )
+        normalized, trace = normalize(expr)
+        assert isinstance(normalized, Compose)
+        assert isinstance(normalized.second, MappingAtom)
+        assert normalized.target.names() == ("P2",)
+        assert any(step.rule == "rename-pushdown" for step in trace)
+
+    def test_nested_renames_fuse(self):
+        atom = MappingAtom(mapping=projection())
+        expr = Rename(
+            child=Rename(child=atom, renaming=(("Q", "Q2"),)),
+            renaming=(("Q2", "Q3"),),
+        )
+        normalized, trace = normalize(expr)
+        assert normalized.target.names() == ("Q3",)
+        assert any(step.rule.startswith("rename-") for step in trace)
+
+    def test_identity_rename_collapses(self):
+        atom = MappingAtom(mapping=projection())
+        expr = Rename(
+            child=Rename(child=atom, renaming=(("Q", "Q2"),)),
+            renaming=(("Q2", "Q"),),
+        )
+        normalized, _ = normalize(expr)
+        assert normalized.key() == atom.key()
+
+
+class TestRestrictPushdown:
+    def test_restrict_absorbs_into_leaf(self):
+        expr = Restrict(
+            child=MappingAtom(mapping=decomposition()), relations=("Q",)
+        )
+        normalized, trace = normalize(expr)
+        assert isinstance(normalized, MappingAtom)
+        assert normalized.target.names() == ("Q",)
+        assert any(step.rule == "restrict-pushdown" for step in trace)
+
+    def test_full_restrict_collapses(self):
+        atom = MappingAtom(mapping=decomposition())
+        expr = Restrict(child=atom, relations=("Q", "R"))
+        normalized, _ = normalize(expr)
+        assert normalized.key() == atom.key()
+
+
+class TestDeadBranchPrune:
+    def test_unreachable_rule_is_dropped(self):
+        expr = dead_branch_expression(3)
+        normalized, trace = normalize(expr)
+        assert any(step.rule == "dead-branch-prune" for step in trace)
+        assert isinstance(normalized, Compose)
+        pruned = normalized.second.mapping
+        assert len(pruned.dependencies) < len(expr.second.mapping.dependencies)
+
+    def test_prune_preserves_materialization(self):
+        expr = dead_branch_expression(3)
+        normalized, _ = normalize(expr)
+        original = materialize(expr)
+        rewritten = materialize(normalized)
+        source = Instance.build({"P1": [("a", "b")], "Q2": [("b", "a")]})
+        assert (
+            universal_solution(original, source).facts
+            == universal_solution(rewritten, source).facts
+        )
+
+
+class TestNormalizeDrivesStaging:
+    def test_normalized_blowup_stages(self):
+        expr = fan_in_chain_expression(3)
+        normalized, _ = normalize(expr)
+        staged = staged_mapping(normalized)
+        assert staged is not None
+        assert len(getattr(staged, "stages", ())) == 2
